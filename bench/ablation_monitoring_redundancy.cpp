@@ -1,0 +1,66 @@
+// Ablation B: the section 5.2 claim that monitoring redundancy "has the
+// advantage of permitting crosschecks on the data collected."
+//
+// The same ground truth (running jobs) flows through two independent
+// paths: Ganglia gmond sampling and ACDC job records.  We break the
+// Ganglia path at a fraction of sites and show the crosscheck divergence
+// detects the loss, while either single path alone would report a
+// self-consistent but wrong grid view.
+#include <iostream>
+
+#include "bench_common.h"
+#include "monitoring/ganglia.h"
+
+int main() {
+  using namespace grid3;
+  bench::header("Ablation B: monitoring redundancy crosscheck",
+                "section 5.2: redundant collection paths");
+
+  util::AsciiTable table{{"site monitors killed", "ACDC avg running",
+                          "MonALISA avg running", "crosscheck divergence"}};
+  for (const double kill_fraction : {0.0, 0.25, 0.5, 1.0}) {
+    sim::Simulation sim;
+    apps::ScenarioOptions opts;
+    opts.months = 1;
+    opts.job_scale = 0.3 * bench::job_scale();
+    opts.cpu_scale = bench::cpu_scale();
+    apps::Scenario scenario{sim, opts};
+    scenario.start();
+    // Let the grid warm up, then break gmond at a fraction of sites.
+    scenario.run_until(Time::days(3));
+    auto& sites = scenario.grid().sites();
+    const auto kill_count =
+        static_cast<std::size_t>(kill_fraction * sites.size());
+    // Killing gmond is modelled by stopping the sites' monitor loops'
+    // Ganglia component: take the whole monitor loop down (GRIS dynamic
+    // updates stop too, exactly like a wedged host daemon).
+    for (std::size_t i = 0; i < kill_count; ++i) {
+      sites[i]->stop_services();
+    }
+    scenario.run_until(util::month_start(1));
+
+    const auto viewer = scenario.viewer();
+    const Time from = Time::days(4);
+    const Time to = sim.now();
+    const double acdc = viewer.concurrency(from, to).time_average(from, to);
+    double monalisa = 0.0;
+    const auto& bus = scenario.grid().igoc().bus();
+    for (const auto& key :
+         bus.keys_with_prefix("monalisa.vo_jobs_running.")) {
+      monalisa +=
+          bus.series(key.site, key.name).time_average(from, to);
+    }
+    table.add_row({util::AsciiTable::percent(kill_fraction, 0),
+                   util::AsciiTable::num(acdc, 1),
+                   util::AsciiTable::num(monalisa, 1),
+                   util::AsciiTable::num(
+                       viewer.crosscheck_divergence(from, to), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: with all paths healthy the two estimates track "
+               "(divergence stays within sampling tolerance).  As site "
+               "monitors die the MonALISA view silently undercounts -- "
+               "only the crosscheck against the redundant ACDC path "
+               "exposes it, which is why Grid3 kept both.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Ablation C: local-scheduler policy comparison (Grid3 ran OpenPBS,
+// Condor, and LSF behind identical GRAM interfaces, section 5).  The
+// same mixed multi-VO workload -- long production, short analysis,
+// backfill probes -- is replayed against each policy.
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "batch/scheduler.h"
+#include "bench_common.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace grid3;
+
+struct Outcome {
+  int completed = 0;
+  int walltime_killed = 0;
+  int rejected = 0;
+  double wait_hours = 0.0;       // production queue wait
+  int backfill_completed = 0;
+  std::map<std::string, double> cpu_by_vo;
+};
+
+Outcome replay(batch::BatchScheduler& sched, sim::Simulation& sim,
+               std::uint64_t seed) {
+  util::Rng rng{seed};
+  Outcome out;
+  // 600 jobs over 20 days: 3 VOs, bimodal runtimes, 15% backfill probes.
+  for (int i = 0; i < 600; ++i) {
+    batch::JobRequest req;
+    const bool probe = rng.chance(0.15);
+    req.vo = probe ? "exerciser" : "vo" + std::to_string(i % 3);
+    const double runtime =
+        probe ? rng.uniform(0.05, 0.3)
+              : (rng.chance(0.3) ? rng.uniform(20.0, 60.0)
+                                 : rng.uniform(0.5, 4.0));
+    req.actual_runtime = Time::hours(runtime);
+    // Users underestimate ~15% of the time (walltime kills on enforcing
+    // schedulers).
+    req.requested_walltime = Time::hours(
+        rng.chance(0.15) ? runtime * rng.uniform(0.5, 0.95)
+                         : runtime * rng.uniform(1.1, 2.0));
+    req.priority = probe ? -1 : 0;
+    const Time at = Time::hours(rng.uniform(0.0, 480.0));
+    sim.schedule_at(at, [&, req, probe] {
+      sched.submit(req, [&, probe](const batch::JobOutcome& o) {
+        switch (o.state) {
+          case batch::JobState::kCompleted:
+            if (probe) {
+              ++out.backfill_completed;
+            } else {
+              ++out.completed;
+              out.wait_hours += (o.started - o.submitted).to_hours();
+            }
+            out.cpu_by_vo[o.vo] += o.cpu_used().to_days();
+            break;
+          case batch::JobState::kKilledWalltime:
+            ++out.walltime_killed;
+            break;
+          case batch::JobState::kRejected:
+            ++out.rejected;
+            break;
+          default:
+            break;
+        }
+      });
+    });
+  }
+  sim.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using grid3::util::AsciiTable;
+  grid3::bench::header("Ablation C: Condor vs OpenPBS vs LSF policies",
+                       "section 5: heterogeneous local schedulers");
+
+  AsciiTable table{{"LRMS", "completed", "walltime-killed", "rejected",
+                    "avg wait (h)", "backfill done", "VO CPU spread"}};
+  for (const char* lrms : {"condor", "pbs", "lsf"}) {
+    sim::Simulation sim;
+    batch::SchedulerConfig cfg;
+    cfg.site_name = "ablation";
+    cfg.slots = 64;
+    cfg.max_walltime = grid3::Time::hours(48);
+    std::unique_ptr<batch::BatchScheduler> sched;
+    if (std::string{lrms} == "condor") {
+      sched = std::make_unique<batch::CondorScheduler>(sim, cfg);
+    } else if (std::string{lrms} == "pbs") {
+      sched = std::make_unique<batch::PbsScheduler>(sim, cfg);
+    } else {
+      sched = std::make_unique<batch::LsfScheduler>(sim, cfg);
+    }
+    const auto out = replay(*sched, sim, 42);
+    // Fairness: max/min CPU-days across the three production VOs.
+    double lo = 1e18, hi = 0.0;
+    for (const auto& [vo, days] : out.cpu_by_vo) {
+      if (vo == "exerciser") continue;
+      lo = std::min(lo, days);
+      hi = std::max(hi, days);
+    }
+    table.add_row(
+        {lrms, AsciiTable::integer(out.completed),
+         AsciiTable::integer(out.walltime_killed),
+         AsciiTable::integer(out.rejected),
+         AsciiTable::num(out.completed
+                             ? out.wait_hours / out.completed
+                             : 0.0,
+                         2),
+         AsciiTable::integer(out.backfill_completed),
+         "max/min=" + AsciiTable::num(lo > 0 ? hi / lo : 0.0, 2)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nreading: Condor never walltime-kills (jobs run to completion) "
+         "and fair-share keeps the VO CPU spread tightest; PBS/LSF enforce "
+         "requested walltime, trading killed jobs for predictable queues; "
+         "LSF's capped long queue keeps short jobs flowing.  Grid3 ran all "
+         "three behind the same GRAM interface -- the grid absorbs the "
+         "policy differences.\n";
+  return 0;
+}

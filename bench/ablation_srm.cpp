@@ -1,0 +1,169 @@
+// Ablation A: the paper's section 6.2 claim that "storage reservation
+// (e.g., as provided by SRM) would have prevented various
+// storage-related service failures."
+//
+// Setup: a contended storage element behind a modest WAN link.  Archive
+// transfers arrive in bursts while local churn eats disk and completed
+// files wait hours for tape migration.  Bare GridFTP checks free space
+// only when a transfer *starts*; concurrent transfers all pass the check
+// and collide when they land (hours of transfer work lost).  SRM claims
+// the space up front, converting those losses into instant refusals the
+// submit side can simply retry.
+#include <iostream>
+
+#include "bench_common.h"
+#include "gridftp/gridftp.h"
+#include "net/network.h"
+#include "srm/srm.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace grid3;
+
+struct Result {
+  int ok = 0;
+  int no_space = 0;   // failed after moving the bytes (work lost)
+  int refused = 0;    // refused before moving anything (retryable)
+  double lost_transfer_hours = 0.0;  // wall-clock wasted on dead transfers
+};
+
+Result run_trial(bool with_srm, std::uint64_t seed) {
+  sim::Simulation sim;
+  net::Network net{sim};
+  gridftp::GridFtpClient client{sim, net};
+  util::Rng rng{seed};
+
+  const auto src_node = net.add_node({"SRC", Bandwidth::gbps(1),
+                                      Bandwidth::gbps(1), true});
+  // A modest SE uplink: a 12 GB file takes ~16 minutes unconstrained,
+  // longer under contention -- a wide race window.
+  const auto se_node = net.add_node({"SE", Bandwidth::mbps(100),
+                                     Bandwidth::mbps(100), true});
+  gridftp::GridFtpServer src{"SRC", src_node};
+  gridftp::GridFtpServer se_ftp{"SE", se_node};
+  srm::DiskVolume disk{"se:/pool", Bytes::gb(300)};
+  srm::StorageResourceManager se{"se", disk};
+
+  // Local churn: +1.5 GB every 20 minutes, wiped daily (section 6.2's
+  // "a disk would fill up").
+  Bytes churn;
+  sim::PeriodicProcess pressure{sim, Time::minutes(20), [&] {
+                                  disk.consume_unmanaged(Bytes::gb(1.5));
+                                  churn += Bytes::gb(1.5);
+                                  return true;
+                                }};
+  pressure.start();
+  sim::PeriodicProcess cleanup{sim, Time::hours(24), [&] {
+                                 disk.cleanup(churn);
+                                 churn = Bytes::zero();
+                                 return true;
+                               }};
+  cleanup.start(Time::hours(24));
+  // SRM housekeeping: expired reservations are swept on a short period.
+  sim::PeriodicProcess sweeper{sim, Time::minutes(30), [&] {
+                                 se.sweep(sim.now());
+                                 return true;
+                               }};
+  sweeper.start();
+
+  Result result;
+  // 200 archive transfers over ~3 days, arriving in bursts of 2-4.
+  int scheduled = 0;
+  Time at;
+  while (scheduled < 200) {
+    at += Time::minutes(rng.exponential(30.0));
+    const int burst = static_cast<int>(rng.uniform_int(2, 4));
+    for (int b = 0; b < burst && scheduled < 200; ++b, ++scheduled) {
+      const Bytes size = Bytes::gb(rng.uniform(8.0, 14.0));
+      const int idx = scheduled;
+      sim.schedule_at(at, [&, size, idx] {
+        gridftp::TransferRequest req;
+        req.src = &src;
+        req.dst = &se_ftp;
+        req.size = size;
+        req.lfn = "archive/" + std::to_string(idx);
+        if (with_srm) {
+          // Volatile space, released by the sweeper after migration.
+          // Lifetime comfortably exceeds any transfer duration, so the
+          // sweeper never reclaims an in-flight reservation.
+          const auto r = se.reserve("vo", size, srm::SpaceType::kVolatile,
+                                    sim.now(), Time::hours(12));
+          if (!r.has_value()) {
+            ++result.refused;  // instant, nothing moved, retry later
+            return;
+          }
+          req.dest_srm = &se;
+          req.reservation = *r;
+          req.max_retries = 0;
+        } else {
+          req.dest_volume = &disk;
+          req.max_retries = 0;
+        }
+        const auto reservation = req.reservation;
+        client.transfer(std::move(req),
+                        [&, reservation](const gridftp::TransferRecord& rec) {
+                          if (rec.ok()) {
+                            ++result.ok;
+                            // Tape migration frees the pool after 4 h
+                            // (releasing the SRM reservation on that path).
+                            if (!with_srm) {
+                              sim.schedule_in(Time::hours(4), [&, rec] {
+                                disk.release(rec.requested);
+                              });
+                            } else {
+                              sim.schedule_in(Time::hours(4),
+                                              [&, reservation] {
+                                                se.release(reservation);
+                                              });
+                            }
+                          } else if (rec.status ==
+                                     gridftp::TransferStatus::kFailedNoSpace) {
+                            ++result.no_space;
+                            result.lost_transfer_hours +=
+                                (rec.finished - rec.started).to_hours();
+                          }
+                        });
+      });
+    }
+  }
+  sim.run_until(Time::days(4));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using grid3::util::AsciiTable;
+  grid3::bench::header(
+      "Ablation A: SRM space reservation vs bare GridFTP",
+      "section 6.2: \"storage reservation would have prevented various "
+      "storage-related service failures\"");
+
+  AsciiTable table{{"configuration", "completed",
+                    "mid-transfer no-space failures",
+                    "transfer-hours wasted", "up-front refusals"}};
+  for (const bool with_srm : {false, true}) {
+    grid3::util::OnlineStats ok, lost, refused, wasted;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto r = run_trial(with_srm, seed);
+      ok.add(r.ok);
+      lost.add(r.no_space);
+      refused.add(r.refused);
+      wasted.add(r.lost_transfer_hours);
+    }
+    table.add_row({with_srm ? "SRM reservations" : "bare GridFTP + RLS",
+                   AsciiTable::num(ok.mean(), 1),
+                   AsciiTable::num(lost.mean(), 1),
+                   AsciiTable::num(wasted.mean(), 1),
+                   AsciiTable::num(refused.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: bare GridFTP loses hours of completed transfer "
+               "work when concurrent archives pass the start-time space "
+               "probe and collide on landing; SRM converts every such loss "
+               "into an instant, retryable refusal -- the paper's claim "
+               "that reservations would have prevented the storage-related "
+               "failures.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared plumbing for the reproduction benches: each binary regenerates
+// one table/figure of the paper, printing the paper's reported values
+// next to the values measured from the simulated grid.
+//
+// Environment knobs:
+//   GRID3_JOB_SCALE  scale workload volumes (default 1.0 = the paper's
+//                    291k-job accounting sample; smaller = faster)
+//   GRID3_CPU_SCALE  scale site sizes (default 1.0 = ~2800 CPUs)
+//   GRID3_SEED       scenario seed (default 20031025)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "apps/scenario.h"
+#include "util/table.h"
+
+namespace grid3::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline double job_scale() { return env_double("GRID3_JOB_SCALE", 1.0); }
+inline double cpu_scale() { return env_double("GRID3_CPU_SCALE", 1.0); }
+inline std::uint64_t seed() {
+  return static_cast<std::uint64_t>(env_double("GRID3_SEED", 20031025));
+}
+
+/// A scenario run bundled with its simulation clock.
+struct ScenarioRun {
+  sim::Simulation sim;
+  std::unique_ptr<apps::Scenario> scenario;
+
+  apps::Scenario& operator*() { return *scenario; }
+  apps::Scenario* operator->() { return scenario.get(); }
+};
+
+/// Run `months` of Grid2003 operations at the configured scales.
+inline std::unique_ptr<ScenarioRun> run_scenario(int months) {
+  auto run = std::make_unique<ScenarioRun>();
+  apps::ScenarioOptions opts;
+  opts.months = months;
+  opts.job_scale = job_scale();
+  opts.cpu_scale = cpu_scale();
+  opts.seed = seed();
+  std::cout << "[scenario] months=" << months
+            << " job_scale=" << opts.job_scale
+            << " cpu_scale=" << opts.cpu_scale << " seed=" << opts.seed
+            << " ... " << std::flush;
+  run->scenario = std::make_unique<apps::Scenario>(run->sim, opts);
+  run->scenario->run();
+  std::cout << "done (" << run->sim.executed() << " events, "
+            << run->scenario->grid().igoc().job_db().size()
+            << " job records)\n\n";
+  return run;
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "==================================================\n";
+}
+
+/// Footnote reminding readers how to compare against the paper when the
+/// run is scaled down.
+inline void scale_note() {
+  if (job_scale() != 1.0) {
+    std::cout << "\nnote: job_scale=" << job_scale()
+              << "; compare paper job counts against measured / "
+              << job_scale() << "\n";
+  }
+}
+
+}  // namespace grid3::bench

@@ -1,0 +1,100 @@
+// Microbenchmarks for the simulator kernel: event queue throughput,
+// network fair-share reallocation, scheduler matchmaking, metric bus
+// fan-out.  These bound how large a Grid3 scenario the simulator can
+// sustain.
+#include <benchmark/benchmark.h>
+
+#include "batch/scheduler.h"
+#include "monitoring/bus.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace grid3;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    util::Rng rng{1};
+    for (int i = 0; i < events; ++i) {
+      sim.schedule_at(Time::seconds(rng.uniform(0.0, 1000.0)), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_NetworkReallocate(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::Network net{sim};
+    std::vector<net::NodeId> nodes;
+    for (int i = 0; i < 16; ++i) {
+      nodes.push_back(net.add_node({"n" + std::to_string(i),
+                                    Bandwidth::mbps(100),
+                                    Bandwidth::mbps(100), true}));
+    }
+    util::Rng rng{2};
+    for (int i = 0; i < flows; ++i) {
+      const auto a = nodes[rng.index(nodes.size())];
+      auto b = nodes[rng.index(nodes.size())];
+      if (b == a) b = nodes[(a + 1) % nodes.size()];
+      net.start_flow(a, b, Bytes::mb(rng.uniform(1, 50)),
+                     [](const net::FlowResult&) {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_NetworkReallocate)->Arg(16)->Arg(128);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  const auto jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    batch::SchedulerConfig cfg;
+    cfg.site_name = "bench";
+    cfg.slots = 64;
+    batch::CondorScheduler sched{sim, cfg};
+    util::Rng rng{3};
+    for (int i = 0; i < jobs; ++i) {
+      batch::JobRequest req;
+      req.vo = "vo" + std::to_string(i % 6);
+      req.actual_runtime = Time::minutes(rng.uniform(5, 120));
+      req.requested_walltime = Time::hours(3);
+      sched.submit(req, {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(256)->Arg(4096);
+
+void BM_MetricBusFanout(benchmark::State& state) {
+  const auto subs = static_cast<int>(state.range(0));
+  monitoring::MetricBus bus;
+  std::size_t hits = 0;
+  for (int i = 0; i < subs; ++i) {
+    bus.subscribe("*", "monalisa.*",
+                  [&hits](const monitoring::MetricKey&, Time, double) {
+                    ++hits;
+                  });
+  }
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    bus.publish("site", "monalisa.load", Time::micros(++t), 1.0);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricBusFanout)->Arg(1)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+#include "apps/dial.h"
+
+#include "workflow/vdc.h"
+
+namespace grid3::apps {
+
+DialAnalysis::DialAnalysis(core::Grid3& grid, Options opts)
+    : AppBase{grid, "usatlas", "dial"}, opts_{opts} {}
+
+void DialAnalysis::analyze(int max_dataset_id,
+                           std::function<void(DialResult)> done) {
+  auto* rls = grid().rls(vo());
+  auto result = std::make_shared<DialResult>(DialResult{
+      0, 0, 0,
+      util::Histogram{opts_.hist_lo, opts_.hist_hi, opts_.hist_bins}});
+  auto outstanding = std::make_shared<std::size_t>(0);
+  auto finished_scan = std::make_shared<bool>(false);
+  auto maybe_done = [result, outstanding, finished_scan, done] {
+    if (*finished_scan && *outstanding == 0 && done) done(*result);
+  };
+
+  for (int id = 1; id <= max_dataset_id; ++id) {
+    const std::string lfn =
+        opts_.dataset_prefix + std::to_string(id) + opts_.dataset_suffix;
+    const auto replicas = rls->locate(lfn, sim().now());
+    if (replicas.empty()) continue;
+    ++result->datasets_found;
+
+    // One analysis derivation per dataset, preferring the replica site
+    // (move the code to the data, not the data to the code).
+    const std::uint64_t run_id = ++seq_;
+    workflow::VirtualDataCatalog vdc;
+    vdc.add_transformation({"dial-fill", "1.0", core::app::kAtlasGce});
+    vdc.add_derivation(
+        {.id = "dial-" + std::to_string(run_id),
+         .transformation = "dial-fill",
+         .inputs = {lfn},
+         .outputs = {"usatlas/dial/hist-" + std::to_string(run_id)},
+         .runtime = Time::hours(
+             std::max(0.05, rng().exponential(opts_.job_hours_mean))),
+         .output_size = Bytes::mb(5),
+         .scratch = Bytes::gb(1)});
+    auto dag = vdc.request({"usatlas/dial/hist-" + std::to_string(run_id)});
+    if (!dag.has_value()) continue;
+    // Interactive analysis should not be re-planned as batch: mark every
+    // compute node with interactive priority.
+    for (auto& job : dag->jobs) (void)job;
+
+    workflow::PlannerConfig cfg;
+    cfg.vo = vo();
+    cfg.reuse_existing = false;  // a fresh histogram every time
+    cfg.site_preference = {{replicas.front().first, 20.0}};
+    ++result->jobs_launched;
+    ++*outstanding;
+    const bool launched = launch(
+        *dag, cfg,
+        [this, result, outstanding, maybe_done](
+            const workflow::DagRunStats& s) {
+          if (s.success) {
+            ++result->jobs_ok;
+            // Fill the merged histogram with this dataset's candidates
+            // (a deterministic pseudo-spectrum: a falling exponential
+            // with a resonance bump -- the shape a SUSY search plots).
+            for (int i = 0; i < 200; ++i) {
+              double mass = rng().exponential(120.0);
+              if (rng().chance(0.08)) mass = rng().normal(250.0, 15.0);
+              result->histogram.add(mass);
+            }
+          }
+          --*outstanding;
+          maybe_done();
+        },
+        "dial");
+    if (!launched) {
+      --*outstanding;
+      --result->jobs_launched;
+    }
+  }
+  *finished_scan = true;
+  maybe_done();
+}
+
+}  // namespace grid3::apps

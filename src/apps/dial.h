@@ -1,0 +1,63 @@
+// DIAL: Distributed Interactive Analysis of Large datasets (paper
+// sections 4.1, 6.1): "A dataset catalog was created for produced
+// samples, making them available to the DIAL distributed analysis
+// package.  Output datasets were stored at BNL by the grid jobs, and
+// continue to be analyzed by DIAL developers and the SUSY physics
+// working group."
+//
+// DIAL consumes what production makes: it discovers archived datasets
+// through RLS, fans short analysis jobs out to sites holding (or near)
+// the replicas, and merges the per-dataset partial results into a
+// histogram -- the interactive counterpart to the batch pipelines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/appbase.h"
+#include "util/stats.h"
+
+namespace grid3::apps {
+
+struct DialOptions {
+  std::string dataset_prefix = "usatlas/dc2/";
+  std::string dataset_suffix = ".esd";
+  /// Analysis jobs are short and interactive-priority.
+  double job_hours_mean = 0.4;
+  int priority = 2;
+  /// Histogram binning for the merged physics result.
+  double hist_lo = 0.0;
+  double hist_hi = 500.0;  ///< "GeV"
+  std::size_t hist_bins = 50;
+};
+
+/// Result of one analysis round.
+struct DialResult {
+  std::size_t datasets_found = 0;
+  std::size_t jobs_launched = 0;
+  std::size_t jobs_ok = 0;
+  util::Histogram histogram;
+  [[nodiscard]] bool complete() const {
+    return jobs_launched > 0 && jobs_ok == jobs_launched;
+  }
+};
+
+class DialAnalysis : public AppBase {
+ public:
+  using Options = DialOptions;
+
+  DialAnalysis(core::Grid3& grid, Options opts = {});
+
+  /// Scan RLS for datasets `prefix<1..max_id>suffix`, launch one analysis
+  /// job per replica-holding dataset, and invoke `done` with the merged
+  /// histogram when every job has terminated.
+  void analyze(int max_dataset_id, std::function<void(DialResult)> done);
+
+ private:
+  Options opts_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace grid3::apps

@@ -1,0 +1,81 @@
+#include "apps/launcher.h"
+
+#include <cmath>
+
+namespace grid3::apps {
+
+double LaunchSchedule::rate_per_day(Time t) const {
+  const int mi = util::month_index_at(t);
+  if (mi < 0 || mi >= static_cast<int>(monthly.size())) return 0.0;
+  const util::CalendarDate d = util::date_at(t);
+  const double days =
+      static_cast<double>(util::days_in_month(d.year, d.month));
+  return monthly[static_cast<std::size_t>(mi)] * scale / days;
+}
+
+double LaunchSchedule::total() const {
+  double acc = 0.0;
+  for (double m : monthly) acc += m * scale;
+  return acc;
+}
+
+PoissonLauncher::PoissonLauncher(sim::Simulation& sim,
+                                 LaunchSchedule schedule, LaunchFn launch,
+                                 util::Rng rng)
+    : sim_{sim},
+      schedule_{std::move(schedule)},
+      launch_{std::move(launch)},
+      rng_{rng} {}
+
+PoissonLauncher::~PoissonLauncher() { stop(); }
+
+void PoissonLauncher::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PoissonLauncher::stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PoissonLauncher::arm() {
+  if (!running_) return;
+  const Time now = sim_.now();
+  if (now >= schedule_.end()) {
+    running_ = false;
+    return;
+  }
+  const double rate = schedule_.rate_per_day(now);
+  Time gap;
+  bool is_arrival = false;
+  if (rate <= 0.0) {
+    // Idle month: hop to the next month boundary.
+    const int mi = util::month_index_at(now);
+    gap = util::month_start(mi + 1) - now + Time::seconds(1);
+  } else {
+    gap = Time::days(rng_.exponential(1.0 / rate));
+    is_arrival = true;
+    // Re-evaluate at month boundaries so rate changes take effect; a
+    // clamped gap is a hop, not an arrival (no rate inflation).
+    if (gap > Time::days(3.0)) {
+      gap = Time::days(3.0);
+      is_arrival = false;
+    }
+  }
+  pending_ = sim_.schedule_in(gap, [this, is_arrival] {
+    pending_ = 0;
+    if (!running_) return;
+    if (is_arrival && schedule_.rate_per_day(sim_.now()) > 0.0) {
+      ++launches_;
+      launch_();
+    }
+    arm();
+  });
+}
+
+}  // namespace grid3::apps

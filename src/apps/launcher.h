@@ -1,0 +1,61 @@
+// Workload launch scheduling.
+//
+// Every application demonstrator ramped up and down over the project's
+// months (Figure 6: ramp through late 2003, sustained production in
+// 2004).  A LaunchSchedule holds per-month launch targets; the
+// PoissonLauncher turns them into exponential inter-arrival launches so
+// submission is bursty-but-calibrated, as production was.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "util/calendar.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace grid3::apps {
+
+struct LaunchSchedule {
+  /// Target launches in month 0 (Oct 2003), month 1 (Nov 2003), ...
+  std::vector<double> monthly;
+  double scale = 1.0;
+
+  /// Instantaneous launch rate (per day) at time t.
+  [[nodiscard]] double rate_per_day(Time t) const;
+  /// Total launches over the whole schedule.
+  [[nodiscard]] double total() const;
+  [[nodiscard]] Time end() const {
+    return util::month_start(static_cast<int>(monthly.size()));
+  }
+};
+
+class PoissonLauncher {
+ public:
+  using LaunchFn = std::function<void()>;
+
+  PoissonLauncher(sim::Simulation& sim, LaunchSchedule schedule,
+                  LaunchFn launch, util::Rng rng);
+  ~PoissonLauncher();
+  PoissonLauncher(const PoissonLauncher&) = delete;
+  PoissonLauncher& operator=(const PoissonLauncher&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t launches() const { return launches_; }
+
+ private:
+  void arm();
+
+  sim::Simulation& sim_;
+  LaunchSchedule schedule_;
+  LaunchFn launch_;
+  util::Rng rng_;
+  sim::EventId pending_ = 0;
+  bool running_ = false;
+  std::uint64_t launches_ = 0;
+};
+
+}  // namespace grid3::apps

@@ -1,0 +1,63 @@
+#include "batch/scheduler.h"
+
+#include <cmath>
+
+namespace grid3::batch {
+
+LsfScheduler::LsfScheduler(sim::Simulation& sim, SchedulerConfig cfg,
+                           Time long_queue_threshold, double long_queue_cap)
+    : BatchScheduler(sim, std::move(cfg)),
+      long_threshold_{long_queue_threshold},
+      long_cap_{long_queue_cap} {}
+
+std::optional<std::size_t> LsfScheduler::pick_next() {
+  // Two queues split at long_threshold_.  The long queue may hold at most
+  // long_cap_ * slots running jobs so short work is never starved; within
+  // each queue dispatch is FIFO with priority classes, and the short
+  // queue is preferred when both have candidates and the long queue is at
+  // its cap.
+  const auto& q = queue();
+  // At least one slot can always take long work (real LSF queues never
+  // starve a class outright).
+  const int long_cap = std::max(
+      1, static_cast<int>(
+             std::floor(long_cap_ * static_cast<double>(total_slots()))));
+  const int long_now = count_running([this](const JobRequest& r) {
+    return r.requested_walltime > long_threshold_;
+  });
+  const bool long_allowed = long_now < long_cap;
+
+  std::optional<std::size_t> best;
+  auto better = [&](std::size_t i) {
+    if (!best.has_value()) return true;
+    const auto& a = q[i];
+    const auto& b = q[*best];
+    if (a.req.priority != b.req.priority) {
+      return a.req.priority > b.req.priority;
+    }
+    return false;  // FIFO otherwise (queue order == submission order)
+  };
+  // Pass 1: short-queue candidates.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i].req.priority < 0) continue;
+    if (q[i].req.requested_walltime > long_threshold_) continue;
+    if (better(i)) best = i;
+  }
+  if (best.has_value()) return best;
+  // Pass 2: long-queue candidates, capacity permitting.
+  if (long_allowed) {
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].req.priority < 0) continue;
+      if (q[i].req.requested_walltime <= long_threshold_) continue;
+      if (better(i)) best = i;
+    }
+    if (best.has_value()) return best;
+  }
+  // Pass 3: backfill.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i].req.priority < 0) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace grid3::batch

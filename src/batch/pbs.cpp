@@ -1,0 +1,17 @@
+#include "batch/scheduler.h"
+
+namespace grid3::batch {
+
+std::optional<std::size_t> PbsScheduler::pick_next() {
+  // Strict FIFO within descending priority class.  Backfill (< 0) waits
+  // for an otherwise empty queue like every other low-priority job.
+  const auto& q = queue();
+  if (q.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    if (q[i].req.priority > q[best].req.priority) best = i;
+  }
+  return best;
+}
+
+}  // namespace grid3::batch

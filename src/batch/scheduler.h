@@ -1,0 +1,225 @@
+// Local batch schedulers.
+//
+// Grid3 sites ran OpenPBS, Condor, or LSF (paper section 5), each with
+// VO-level policies implemented via Unix group accounts.  This module
+// provides the shared slot engine plus the three policy implementations;
+// policy differences (fair share vs FIFO vs multi-queue, walltime
+// enforcement) are the behavioural knobs the scheduler ablation bench
+// sweeps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace grid3::batch {
+
+using LocalJobId = std::uint64_t;
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kKilledWalltime,    ///< exceeded its requested walltime on an enforcing LRMS
+  kKilledNodeFailure, ///< worker died (rollover, hardware)
+  kKilledAdmin,       ///< drained / cancelled
+  kRejected,          ///< refused at submission (policy)
+};
+
+[[nodiscard]] const char* to_string(JobState s);
+[[nodiscard]] inline bool is_terminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+struct JobRequest {
+  std::string vo;            ///< group account the job maps to
+  std::string user_dn;
+  Time requested_walltime;   ///< queue-managed sites require this (§6.4)
+  Time actual_runtime;       ///< true demand, unknown to the scheduler
+  int priority = 0;          ///< < 0 marks backfill (the Condor exerciser)
+};
+
+struct JobOutcome {
+  LocalJobId id = 0;
+  JobState state = JobState::kRejected;
+  std::string vo;
+  Time submitted;
+  Time started;
+  Time finished;
+  /// CPU actually consumed (runtime until completion or kill).
+  [[nodiscard]] Time cpu_used() const {
+    return state == JobState::kQueued || state == JobState::kRejected
+               ? Time::zero()
+               : finished - started;
+  }
+};
+
+using CompletionFn = std::function<void(const JobOutcome&)>;
+
+struct SubmitResult {
+  bool accepted = false;
+  LocalJobId id = 0;
+  std::string reason;  ///< set when rejected
+};
+
+struct SchedulerConfig {
+  std::string site_name;
+  int slots = 64;                       ///< worker CPUs
+  Time max_walltime = Time::hours(72);  ///< published queue limit
+  /// Relative fair-share weight per VO; VOs absent from the map may still
+  /// run (weight 1) unless `closed_shares` is set.
+  std::map<std::string, double> vo_shares;
+  bool closed_shares = false;
+};
+
+/// Shared engine; subclasses supply the dispatch-order policy.
+class BatchScheduler {
+ public:
+  BatchScheduler(sim::Simulation& sim, SchedulerConfig cfg);
+  virtual ~BatchScheduler();
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// LRMS type string as published in GLUE ("condor", "pbs", "lsf").
+  [[nodiscard]] virtual std::string lrms_type() const = 0;
+  /// Whether jobs past their requested walltime are killed.
+  [[nodiscard]] virtual bool enforces_walltime() const = 0;
+
+  SubmitResult submit(const JobRequest& req, CompletionFn done);
+  bool cancel(LocalJobId id);
+
+  /// Kill each running job independently with probability `fraction`
+  /// (ACDC's nightly worker rollover, section 6.1).
+  std::size_t kill_running(double fraction, util::Rng& rng,
+                           JobState reason = JobState::kKilledNodeFailure);
+
+  /// Remove `n` slots (node withdrawal); running jobs on removed slots are
+  /// killed.  Adding slots triggers a dispatch round.
+  void resize(int new_slots, util::Rng& rng);
+
+  /// Drain: stop dispatching; running jobs finish.  resume() re-opens.
+  void drain() { draining_ = true; }
+  void resume();
+
+  [[nodiscard]] int total_slots() const { return cfg_.slots; }
+  [[nodiscard]] int busy_slots() const { return static_cast<int>(running_.size()); }
+  [[nodiscard]] int free_slots() const { return cfg_.slots - busy_slots(); }
+  [[nodiscard]] std::size_t queued_count() const { return queue_.size(); }
+  [[nodiscard]] int running_for_vo(const std::string& vo) const;
+  [[nodiscard]] std::size_t queued_for_vo(const std::string& vo) const;
+  [[nodiscard]] const SchedulerConfig& config() const { return cfg_; }
+  [[nodiscard]] Time max_walltime() const { return cfg_.max_walltime; }
+  void set_max_walltime(Time t) { cfg_.max_walltime = t; }
+
+  /// Cumulative CPU time charged per VO (fair-share input + accounting).
+  [[nodiscard]] Time vo_usage(const std::string& vo) const;
+
+  /// Observer invoked on every running-count change (monitoring hook).
+  void set_load_observer(std::function<void(int running, int queued)> fn) {
+    observer_ = std::move(fn);
+  }
+
+ protected:
+  struct QueuedJob {
+    LocalJobId id;
+    JobRequest req;
+    Time submitted;
+  };
+
+  /// Policy hook: index into `queue_` of the next job to start, or nullopt
+  /// to leave remaining slots idle this round.
+  [[nodiscard]] virtual std::optional<std::size_t> pick_next() = 0;
+
+  [[nodiscard]] const std::deque<QueuedJob>& queue() const { return queue_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+
+  /// Decayed usage ratio used by fair-share policies:
+  /// usage / share_weight, lower runs first.
+  [[nodiscard]] double fair_share_rank(const std::string& vo) const;
+
+  /// Number of running jobs whose request satisfies `pred` (policy
+  /// bookkeeping, e.g. LSF's long-queue cap).
+  [[nodiscard]] int count_running(
+      const std::function<bool(const JobRequest&)>& pred) const;
+
+ private:
+  struct RunningJob {
+    LocalJobId id;
+    JobRequest req;
+    Time submitted;
+    Time started;
+    sim::EventId completion = 0;
+    CompletionFn done;
+  };
+
+  void dispatch();
+  void finish(LocalJobId id, JobState state);
+  void notify_observer();
+  void charge_usage(const std::string& vo, Time cpu);
+
+  sim::Simulation& sim_;
+  SchedulerConfig cfg_;
+  bool draining_ = false;
+  bool dispatching_ = false;
+  LocalJobId next_id_ = 1;
+  std::deque<QueuedJob> queue_;
+  std::unordered_map<LocalJobId, RunningJob> running_;
+  std::unordered_map<LocalJobId, CompletionFn> queued_callbacks_;
+  std::unordered_map<std::string, Time> usage_;
+  std::function<void(int, int)> observer_;
+};
+
+/// Condor: fair-share matchmaking, negative-priority backfill only runs
+/// when nothing else is waiting, no walltime enforcement (vanilla-universe
+/// behaviour of the era).
+class CondorScheduler final : public BatchScheduler {
+ public:
+  using BatchScheduler::BatchScheduler;
+  [[nodiscard]] std::string lrms_type() const override { return "condor"; }
+  [[nodiscard]] bool enforces_walltime() const override { return false; }
+
+ protected:
+  [[nodiscard]] std::optional<std::size_t> pick_next() override;
+};
+
+/// OpenPBS: strict FIFO within priority class, walltime enforced, rejects
+/// requests beyond the queue limit at submission.
+class PbsScheduler final : public BatchScheduler {
+ public:
+  using BatchScheduler::BatchScheduler;
+  [[nodiscard]] std::string lrms_type() const override { return "pbs"; }
+  [[nodiscard]] bool enforces_walltime() const override { return true; }
+
+ protected:
+  [[nodiscard]] std::optional<std::size_t> pick_next() override;
+};
+
+/// LSF: two queues split at a threshold walltime; the long queue is capped
+/// to a fraction of the slots so short jobs cannot be starved; walltime
+/// enforced.
+class LsfScheduler final : public BatchScheduler {
+ public:
+  LsfScheduler(sim::Simulation& sim, SchedulerConfig cfg,
+               Time long_queue_threshold = Time::hours(12),
+               double long_queue_cap = 0.6);
+  [[nodiscard]] std::string lrms_type() const override { return "lsf"; }
+  [[nodiscard]] bool enforces_walltime() const override { return true; }
+
+ protected:
+  [[nodiscard]] std::optional<std::size_t> pick_next() override;
+
+ private:
+  Time long_threshold_;
+  double long_cap_;
+};
+
+}  // namespace grid3::batch

@@ -1,0 +1,197 @@
+#include "core/failure.h"
+
+#include <cassert>
+
+namespace grid3::core {
+
+const char* to_string(Incident i) {
+  switch (i) {
+    case Incident::kDiskFill: return "disk-fill";
+    case Incident::kGatekeeperCrash: return "gatekeeper-crash";
+    case Incident::kNetworkCut: return "network-cut";
+    case Incident::kServiceCrash: return "service-crash";
+    case Incident::kRollover: return "worker-rollover";
+  }
+  return "?";
+}
+
+FailureRates FailureRates::scaled(double reliability) const {
+  assert(reliability > 0.0);
+  FailureRates r = *this;
+  r.disk_fill_mtbf = r.disk_fill_mtbf * reliability;
+  r.gatekeeper_crash_mtbf = r.gatekeeper_crash_mtbf * reliability;
+  r.network_cut_mtbf = r.network_cut_mtbf * reliability;
+  r.service_crash_mtbf = r.service_crash_mtbf * reliability;
+  return r;
+}
+
+void FailureInjector::attach(Site& site, FailureRates rates) {
+  auto a = std::make_unique<Attached>();
+  a->site = &site;
+  a->rates = rates;
+  Attached* ap = a.get();
+  attached_[site.name()] = std::move(a);
+
+  const std::string name = site.name();
+  auto alive = [this, name]() -> Attached* {
+    auto it = attached_.find(name);
+    return it != attached_.end() && it->second->active ? it->second.get()
+                                                       : nullptr;
+  };
+
+  // Disk-fill incidents.
+  auto schedule_disk = [this, alive](auto&& self) -> void {
+    Attached* a = alive();
+    if (a == nullptr) return;
+    const Time gap = Time::hours(
+        rng_.exponential(a->rates.disk_fill_mtbf.to_hours()));
+    sim_.schedule_in(gap, [this, alive, self] {
+      Attached* a = alive();
+      if (a == nullptr) return;
+      record(Incident::kDiskFill);
+      const Bytes eaten =
+          a->site->disk().capacity() * a->rates.disk_fill_fraction;
+      a->site->disk().consume_unmanaged(eaten);
+      const auto ticket =
+          igoc_.tickets().open(a->site->name(), "disk-fill", sim_.now());
+      const std::string site_name = a->site->name();
+      sim_.schedule_in(a->rates.disk_cleanup_after,
+                       [this, alive, ticket, eaten] {
+                         if (Attached* a2 = alive()) {
+                           a2->site->disk().cleanup(eaten);
+                         }
+                         igoc_.tickets().close(ticket, sim_.now());
+                       });
+      (void)site_name;
+      self(self);
+    });
+  };
+  schedule_disk(schedule_disk);
+
+  // Gatekeeper crashes.
+  auto schedule_gk = [this, alive](auto&& self) -> void {
+    Attached* a = alive();
+    if (a == nullptr) return;
+    const Time gap = Time::hours(
+        rng_.exponential(a->rates.gatekeeper_crash_mtbf.to_hours()));
+    sim_.schedule_in(gap, [this, alive, self] {
+      Attached* a = alive();
+      if (a == nullptr) return;
+      record(Incident::kGatekeeperCrash);
+      a->site->gatekeeper().set_available(false);
+      const auto ticket = igoc_.tickets().open(a->site->name(),
+                                               "gatekeeper-crash", sim_.now());
+      const Time repair = Time::hours(
+          rng_.exponential(a->rates.gatekeeper_repair_mean.to_hours()));
+      sim_.schedule_in(repair, [this, alive, ticket] {
+        if (Attached* a2 = alive()) {
+          a2->site->gatekeeper().set_available(true);
+        }
+        igoc_.tickets().close(ticket, sim_.now());
+      });
+      self(self);
+    });
+  };
+  schedule_gk(schedule_gk);
+
+  // Network interruptions.
+  auto schedule_net = [this, alive](auto&& self) -> void {
+    Attached* a = alive();
+    if (a == nullptr) return;
+    const Time gap =
+        Time::hours(rng_.exponential(a->rates.network_cut_mtbf.to_hours()));
+    sim_.schedule_in(gap, [this, alive, self] {
+      Attached* a = alive();
+      if (a == nullptr) return;
+      record(Incident::kNetworkCut);
+      net_.set_node_up(a->site->node(), false);
+      const auto ticket =
+          igoc_.tickets().open(a->site->name(), "network-cut", sim_.now());
+      const Time repair = Time::hours(
+          rng_.exponential(a->rates.network_repair_mean.to_hours()));
+      sim_.schedule_in(repair, [this, alive, ticket] {
+        if (Attached* a2 = alive()) {
+          net_.set_node_up(a2->site->node(), true);
+        }
+        igoc_.tickets().close(ticket, sim_.now());
+      });
+      self(self);
+    });
+  };
+  schedule_net(schedule_net);
+
+  // Service crashes (GridFTP or GRIS, alternating randomly).
+  auto schedule_svc = [this, alive](auto&& self) -> void {
+    Attached* a = alive();
+    if (a == nullptr) return;
+    const Time gap = Time::hours(
+        rng_.exponential(a->rates.service_crash_mtbf.to_hours()));
+    sim_.schedule_in(gap, [this, alive, self] {
+      Attached* a = alive();
+      if (a == nullptr) return;
+      record(Incident::kServiceCrash);
+      const bool ftp = rng_.chance(0.6);
+      if (ftp) {
+        a->site->ftp().set_available(false);
+      } else {
+        a->site->gris().set_available(false);
+      }
+      const auto ticket = igoc_.tickets().open(
+          a->site->name(), ftp ? "gridftp-crash" : "gris-crash", sim_.now());
+      const Time repair = Time::hours(
+          rng_.exponential(a->rates.service_repair_mean.to_hours()));
+      sim_.schedule_in(repair, [this, alive, ticket, ftp] {
+        if (Attached* a2 = alive()) {
+          if (ftp) {
+            a2->site->ftp().set_available(true);
+          } else {
+            a2->site->gris().set_available(true);
+          }
+        }
+        igoc_.tickets().close(ticket, sim_.now());
+      });
+      self(self);
+    });
+  };
+  schedule_svc(schedule_svc);
+
+  // Nightly worker rollover.
+  if (rates.nightly_rollover) {
+    auto loop = std::make_unique<sim::PeriodicProcess>(
+        sim_, Time::days(1), [this, alive] {
+          Attached* a = alive();
+          if (a == nullptr) return false;
+          record(Incident::kRollover);
+          a->site->scheduler().kill_running(a->rates.rollover_kill_fraction,
+                                            rng_);
+          return true;
+        });
+    // First rollover at the next "midnight" (whole day boundary).
+    const double day_frac =
+        sim_.now().to_days() - static_cast<double>(static_cast<std::int64_t>(
+                                   sim_.now().to_days()));
+    loop->start(Time::days(1.0 - day_frac));
+    ap->loops.push_back(std::move(loop));
+  }
+}
+
+void FailureInjector::detach(const std::string& site_name) {
+  auto it = attached_.find(site_name);
+  if (it == attached_.end()) return;
+  it->second->active = false;
+  for (auto& loop : it->second->loops) loop->stop();
+  // Keep the entry (inactive) so in-flight lambdas resolve to nullptr.
+}
+
+std::size_t FailureInjector::incidents(Incident kind) const {
+  auto it = counts_.find(kind);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::size_t FailureInjector::total_incidents() const {
+  std::size_t n = 0;
+  for (const auto& [kind, count] : counts_) n += count;
+  return n;
+}
+
+}  // namespace grid3::core

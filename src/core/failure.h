@@ -1,0 +1,99 @@
+// Failure injection: the operational failure modes of sections 6.1/6.2.
+//
+// "Approximately 90% of failures were due to site problems: disk filling
+// errors, gatekeeper overloading, or network interruptions."  "...more
+// frequently a disk would fill up or a service would fail and all jobs
+// submitted to a site would die."  Plus ACDC's nightly roll over of
+// worker nodes killing running jobs.
+//
+// Each attached site gets independent Poisson processes per failure
+// class; every incident opens an iGOC trouble ticket and repairs close
+// it after a repair-time distribution.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/igoc.h"
+#include "core/site.h"
+#include "sim/simulation.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace grid3::core {
+
+struct FailureRates {
+  /// Mean time between unmanaged disk-consumption incidents.
+  Time disk_fill_mtbf = Time::days(35);
+  /// Fraction of the disk an incident eats.
+  double disk_fill_fraction = 0.5;
+  Time disk_cleanup_after = Time::hours(8);
+
+  Time gatekeeper_crash_mtbf = Time::days(50);
+  Time gatekeeper_repair_mean = Time::hours(4);
+
+  Time network_cut_mtbf = Time::days(75);
+  Time network_repair_mean = Time::hours(2);
+
+  /// GridFTP / GRIS / SE service crash.
+  Time service_crash_mtbf = Time::days(45);
+  Time service_repair_mean = Time::hours(6);
+
+  /// ACDC-style nightly worker rollover.
+  bool nightly_rollover = false;
+  double rollover_kill_fraction = 0.9;
+
+  /// Scale every MTBF (1.0 = nominal; < 1 = flakier site).
+  [[nodiscard]] FailureRates scaled(double reliability) const;
+};
+
+/// Kinds of incidents, for accounting.
+enum class Incident {
+  kDiskFill,
+  kGatekeeperCrash,
+  kNetworkCut,
+  kServiceCrash,
+  kRollover,
+};
+
+[[nodiscard]] const char* to_string(Incident i);
+
+class FailureInjector {
+ public:
+  FailureInjector(sim::Simulation& sim, net::Network& network, Igoc& igoc,
+                  util::Rng rng)
+      : sim_{sim}, net_{network}, igoc_{igoc}, rng_{rng} {}
+  FailureInjector(const FailureInjector&) = delete;
+  FailureInjector& operator=(const FailureInjector&) = delete;
+
+  /// Attach a site; failures start flowing immediately.
+  void attach(Site& site, FailureRates rates);
+  /// Stop injecting for a site (e.g. it stabilized / was withdrawn).
+  void detach(const std::string& site_name);
+
+  [[nodiscard]] std::size_t incidents(Incident kind) const;
+  [[nodiscard]] std::size_t total_incidents() const;
+
+ private:
+  struct Attached {
+    Site* site;
+    FailureRates rates;
+    std::vector<std::unique_ptr<sim::PeriodicProcess>> loops;
+    bool active = true;
+  };
+
+  void arm_poisson(Attached& a, Time mtbf,
+                   const std::function<void(Attached&)>& fire);
+  void record(Incident kind) { ++counts_[kind]; }
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  Igoc& igoc_;
+  util::Rng rng_;
+  std::map<std::string, std::unique_ptr<Attached>> attached_;
+  std::map<Incident, std::size_t> counts_;
+};
+
+}  // namespace grid3::core

@@ -1,0 +1,214 @@
+#include "core/grid3.h"
+
+#include <algorithm>
+
+#include "pacman/vdt.h"
+
+namespace grid3::core {
+
+const std::vector<std::string>& canonical_vos() {
+  static const std::vector<std::string> kVos = {
+      "usatlas", "uscms", "sdss", "ligo", "btev", "ivdgl"};
+  return kVos;
+}
+
+Grid3::Grid3(sim::Simulation& sim, std::uint64_t seed)
+    : sim_{sim},
+      rng_{seed},
+      net_{sim},
+      ca_{"DOEGrids CA"},
+      netlogger_{},
+      ftp_client_{sim, net_, &netlogger_},
+      // Fail fast at the Condor-G layer: DAGMan owns retries, so every
+      // failed jobmanager attempt is visible to ACDC accounting, as on
+      // the real grid.
+      condor_g_{sim, {.max_retries = 0, .retry_backoff = Time::minutes(5)}},
+      failures_{sim, net_, igoc_, util::Rng{seed ^ 0xfa11u}} {
+  pacman::load_vdt_bundle(igoc_.pacman_cache());
+}
+
+Grid3::~Grid3() {
+  for (auto& op : operations_) op->stop();
+}
+
+vo::VomsServer& Grid3::add_vo(const std::string& name) {
+  auto it = vos_.find(name);
+  if (it != vos_.end()) return *it->second.voms;
+  VoServices svc;
+  svc.voms = std::make_unique<vo::VomsServer>(name);
+  svc.giis = std::make_unique<mds::Giis>(name + "-giis", Time::minutes(10));
+  svc.rls = std::make_unique<rls::ReplicaLocationService>(name);
+  svc.dagman = std::make_unique<workflow::DagMan>(
+      sim_, condor_g_, ftp_client_, svc.rls.get(), *this);
+  igoc_.top_giis().register_child(svc.giis.get());
+  return *vos_.emplace(name, std::move(svc)).first->second.voms;
+}
+
+vo::Certificate Grid3::add_user(const std::string& vo_name,
+                                const std::string& common_name,
+                                vo::Role role) {
+  vo::VomsServer& server = add_vo(vo_name);
+  const std::string dn =
+      "/DC=org/DC=doegrids/OU=People/CN=" + common_name + " " +
+      std::to_string(++user_serial_);
+  auto cert = ca_.issue(dn, sim_.now(), Time::days(365));
+  server.add_member(dn, role);
+  return cert;
+}
+
+std::optional<vo::VomsProxy> Grid3::make_proxy(const vo::Certificate& cert,
+                                               const std::string& vo_name,
+                                               Time lifetime) const {
+  auto it = vos_.find(vo_name);
+  if (it == vos_.end()) return std::nullopt;
+  return vo::issue_proxy(*it->second.voms, cert, sim_.now(), lifetime);
+}
+
+vo::VomsServer* Grid3::voms(const std::string& vo_name) {
+  auto it = vos_.find(vo_name);
+  return it == vos_.end() ? nullptr : it->second.voms.get();
+}
+
+rls::ReplicaLocationService* Grid3::rls(const std::string& vo_name) {
+  auto it = vos_.find(vo_name);
+  return it == vos_.end() ? nullptr : it->second.rls.get();
+}
+
+mds::Giis* Grid3::vo_giis(const std::string& vo_name) {
+  auto it = vos_.find(vo_name);
+  return it == vos_.end() ? nullptr : it->second.giis.get();
+}
+
+workflow::DagMan& Grid3::dagman(const std::string& vo_name) {
+  add_vo(vo_name);
+  return *vos_.at(vo_name).dagman;
+}
+
+Site& Grid3::add_site(SiteConfig cfg, double reliability,
+                      bool nightly_rollover) {
+  auto site = std::make_unique<Site>(sim_, net_, igoc_.bus(), ca_,
+                                     ftp_client_, cfg, rng_.fork());
+  Site* sp = site.get();
+  sites_.push_back(std::move(site));
+
+  // Installation + certification via the iGOC Pacman cache.  A failed
+  // certification means the admin reinstalls, as the documented Grid3
+  // procedure required, until the site passes.
+  for (int attempt = 0; attempt < 8 && !sp->installed(); ++attempt) {
+    sp->install(igoc_.pacman_cache(), "grid3-vdt");
+  }
+
+  // Support every configured VO and generate the initial grid-map.
+  std::vector<const vo::VomsServer*> servers;
+  for (const auto& [name, svc] : vos_) {
+    sp->support_vo(name);
+    servers.push_back(svc.voms.get());
+  }
+  sp->refresh_gridmap(servers);
+
+  // Register the GRIS with the owner VO's index (or the iGOC index when
+  // the owner VO is unknown).
+  if (mds::Giis* giis = vo_giis(cfg.owner_vo)) {
+    giis->register_gris(&sp->gris());
+  } else {
+    igoc_.top_giis().register_gris(&sp->gris());
+  }
+
+  // Site Status Catalog registration.
+  igoc_.site_catalog().register_site(
+      sp->name(), cfg.location,
+      [sp] { return sp->run_probes(); });
+
+  sp->start_services();
+
+  FailureRates rates;
+  rates.nightly_rollover = nightly_rollover;
+  failures_.attach(*sp, rates.scaled(reliability));
+  return *sp;
+}
+
+Site* Grid3::site(const std::string& name) {
+  for (auto& s : sites_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+ExternalHost& Grid3::add_external_host(const std::string& name,
+                                       Bandwidth bw) {
+  auto host = std::make_unique<ExternalHost>();
+  host->name = name;
+  host->node = net_.add_node({name, bw, bw, true});
+  host->ftp = std::make_unique<gridftp::GridFtpServer>(name, host->node);
+  host->disk =
+      std::make_unique<srm::DiskVolume>(name + ":/tape", Bytes::tb(100000));
+  externals_.push_back(std::move(host));
+  return *externals_.back();
+}
+
+void Grid3::start_operations(Time gridmap_period, Time rls_period,
+                             Time catalog_period) {
+  // Grid-map regeneration at every site (edg-mkgridmap cron).
+  auto gridmap_loop = std::make_unique<sim::PeriodicProcess>(
+      sim_, gridmap_period, [this] {
+        std::vector<const vo::VomsServer*> servers;
+        for (const auto& [name, svc] : vos_) servers.push_back(svc.voms.get());
+        for (auto& s : sites_) s->refresh_gridmap(servers);
+        return true;
+      });
+  gridmap_loop->start(Time::minutes(1));
+  operations_.push_back(std::move(gridmap_loop));
+
+  // RLS soft-state refresh.
+  auto rls_loop =
+      std::make_unique<sim::PeriodicProcess>(sim_, rls_period, [this] {
+        for (auto& [name, svc] : vos_) svc.rls->refresh_all(sim_.now());
+        return true;
+      });
+  rls_loop->start(Time::minutes(2));
+  operations_.push_back(std::move(rls_loop));
+
+  // Site Status Catalog verification sweep.
+  auto catalog_loop = std::make_unique<sim::PeriodicProcess>(
+      sim_, catalog_period, [this] {
+        igoc_.site_catalog().run_sweep(sim_.now());
+        return true;
+      });
+  catalog_loop->start(Time::minutes(3));
+  operations_.push_back(std::move(catalog_loop));
+}
+
+gram::Gatekeeper* Grid3::gatekeeper(const std::string& site_name) {
+  Site* s = site(site_name);
+  return s == nullptr ? nullptr : &s->gatekeeper();
+}
+
+gridftp::GridFtpServer* Grid3::ftp(const std::string& site_name) {
+  if (Site* s = site(site_name)) return &s->ftp();
+  for (auto& host : externals_) {
+    if (host->name == site_name) return host->ftp.get();
+  }
+  return nullptr;
+}
+
+srm::DiskVolume* Grid3::volume(const std::string& site_name) {
+  if (Site* s = site(site_name)) return &s->disk();
+  for (auto& host : externals_) {
+    if (host->name == site_name) return host->disk.get();
+  }
+  return nullptr;
+}
+
+int Grid3::total_cpus() const {
+  int n = 0;
+  for (const auto& s : sites_) n += s->cpus();
+  return n;
+}
+
+std::size_t Grid3::total_users() const {
+  std::size_t n = 0;
+  for (const auto& [name, svc] : vos_) n += svc.voms->member_count();
+  return n;
+}
+
+}  // namespace grid3::core

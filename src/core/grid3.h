@@ -1,0 +1,142 @@
+// The Grid3 fabric: the paper's primary contribution assembled.
+//
+// Two-tier architecture (section 5): per-site grid services with
+// VO-specific configuration, registered into VO-level services (VOMS,
+// VO GIIS, per-VO RLS), which combine into top-level services at the
+// iGOC.  The fabric also implements workflow::SiteServices so planners
+// and DAGMan can resolve site names to live endpoints.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/failure.h"
+#include "core/igoc.h"
+#include "core/site.h"
+#include "gram/condor_g.h"
+#include "gridftp/gridftp.h"
+#include "gridftp/netlogger.h"
+#include "net/network.h"
+#include "rls/rls.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "vo/voms.h"
+#include "workflow/dagman.h"
+
+namespace grid3::core {
+
+/// The six Grid3 VOs (section 5) in canonical order.
+[[nodiscard]] const std::vector<std::string>& canonical_vos();
+
+/// External (non-Grid3) data endpoints: archive/tape hosts at labs.
+struct ExternalHost {
+  std::string name;
+  net::NodeId node;
+  std::unique_ptr<gridftp::GridFtpServer> ftp;
+  std::unique_ptr<srm::DiskVolume> disk;  ///< effectively unbounded tape
+};
+
+class Grid3 final : public workflow::SiteServices {
+ public:
+  explicit Grid3(sim::Simulation& sim, std::uint64_t seed = 20031025);
+  ~Grid3() override;
+
+  // --- VO layer -------------------------------------------------------
+  /// Create a VO: VOMS server, VO GIIS (registered with the iGOC top
+  /// index), and a per-VO RLS.
+  vo::VomsServer& add_vo(const std::string& name);
+
+  /// Register a user: issues an identity certificate from the grid CA
+  /// and adds the DN to the VO's VOMS server.
+  vo::Certificate add_user(const std::string& vo_name,
+                           const std::string& common_name,
+                           vo::Role role = vo::Role::kUser);
+
+  /// Short-lived VOMS proxy for a registered user.
+  [[nodiscard]] std::optional<vo::VomsProxy> make_proxy(
+      const vo::Certificate& cert, const std::string& vo_name,
+      Time lifetime = Time::hours(48)) const;
+
+  [[nodiscard]] vo::VomsServer* voms(const std::string& vo_name);
+  [[nodiscard]] rls::ReplicaLocationService* rls(const std::string& vo_name);
+  [[nodiscard]] mds::Giis* vo_giis(const std::string& vo_name);
+
+  // --- site layer -----------------------------------------------------
+  /// Bring a site online: construct it, run the Pacman install +
+  /// certification, support every VO, generate its grid-map, register
+  /// its GRIS with the owner VO's GIIS, hook it into the Site Status
+  /// Catalog, start its monitoring loops, and attach failure injection.
+  /// `reliability` scales failure MTBFs (higher = more stable).
+  Site& add_site(SiteConfig cfg, double reliability = 1.0,
+                 bool nightly_rollover = false);
+
+  [[nodiscard]] Site* site(const std::string& name);
+  [[nodiscard]] const std::vector<std::unique_ptr<Site>>& sites() const {
+    return sites_;
+  }
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+  /// External archive endpoint (CERN, LIGO observatories...).
+  ExternalHost& add_external_host(const std::string& name,
+                                  Bandwidth bw = Bandwidth::gbps(1));
+
+  // --- central operations ---------------------------------------------
+  /// Start grid-wide periodic processes: grid-map regeneration, RLS
+  /// soft-state refresh, site-catalog verification sweeps.
+  void start_operations(Time gridmap_period = Time::hours(6),
+                        Time rls_period = Time::minutes(20),
+                        Time catalog_period = Time::minutes(30));
+
+  // --- shared services --------------------------------------------------
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] const vo::CertificateAuthority& ca() const { return ca_; }
+  [[nodiscard]] Igoc& igoc() { return igoc_; }
+  [[nodiscard]] const Igoc& igoc() const { return igoc_; }
+  [[nodiscard]] gridftp::NetLogger& netlogger() { return netlogger_; }
+  [[nodiscard]] gridftp::GridFtpClient& ftp_client() { return ftp_client_; }
+  [[nodiscard]] gram::CondorG& condor_g() { return condor_g_; }
+  [[nodiscard]] FailureInjector& failures() { return failures_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Per-VO DAGMan (bound to that VO's RLS).
+  [[nodiscard]] workflow::DagMan& dagman(const std::string& vo_name);
+
+  // --- workflow::SiteServices -------------------------------------------
+  [[nodiscard]] gram::Gatekeeper* gatekeeper(const std::string& site) override;
+  [[nodiscard]] gridftp::GridFtpServer* ftp(const std::string& site) override;
+  [[nodiscard]] srm::DiskVolume* volume(const std::string& site) override;
+
+  /// Total CPUs across online sites (milestone metric).
+  [[nodiscard]] int total_cpus() const;
+  /// Authorized users across all VOMS servers (milestone metric).
+  [[nodiscard]] std::size_t total_users() const;
+
+ private:
+  struct VoServices {
+    std::unique_ptr<vo::VomsServer> voms;
+    std::unique_ptr<mds::Giis> giis;
+    std::unique_ptr<rls::ReplicaLocationService> rls;
+    std::unique_ptr<workflow::DagMan> dagman;
+  };
+
+  sim::Simulation& sim_;
+  util::Rng rng_;
+  net::Network net_;
+  vo::CertificateAuthority ca_;
+  Igoc igoc_;
+  gridftp::NetLogger netlogger_;
+  gridftp::GridFtpClient ftp_client_;
+  gram::CondorG condor_g_;
+  FailureInjector failures_;
+  std::map<std::string, VoServices> vos_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::vector<std::unique_ptr<ExternalHost>> externals_;
+  std::vector<std::unique_ptr<sim::PeriodicProcess>> operations_;
+  std::uint64_t user_serial_ = 0;
+};
+
+}  // namespace grid3::core

@@ -1,0 +1,47 @@
+#include "core/igoc.h"
+
+namespace grid3::core {
+
+std::uint64_t TroubleTicketSystem::open(const std::string& site,
+                                        const std::string& issue, Time now) {
+  TroubleTicket t;
+  t.id = next_id_++;
+  t.site = site;
+  t.issue = issue;
+  t.opened = now;
+  tickets_.push_back(std::move(t));
+  return tickets_.back().id;
+}
+
+bool TroubleTicketSystem::close(std::uint64_t id, Time now) {
+  for (TroubleTicket& t : tickets_) {
+    if (t.id == id && t.open()) {
+      t.closed = now;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t TroubleTicketSystem::open_count() const {
+  std::size_t n = 0;
+  for (const TroubleTicket& t : tickets_) {
+    if (t.open()) ++n;
+  }
+  return n;
+}
+
+Time TroubleTicketSystem::mean_resolution() const {
+  Time total;
+  std::size_t n = 0;
+  for (const TroubleTicket& t : tickets_) {
+    if (!t.open()) {
+      total += *t.closed - t.opened;
+      ++n;
+    }
+  }
+  return n > 0 ? Time::micros(total.ticks() / static_cast<std::int64_t>(n))
+               : Time::zero();
+}
+
+}  // namespace grid3::core

@@ -1,0 +1,41 @@
+#include "gram/condor_g.h"
+
+namespace grid3::gram {
+
+bool is_transient(GramStatus s) {
+  switch (s) {
+    case GramStatus::kGatekeeperOverloaded:
+    case GramStatus::kGatekeeperDown:
+    case GramStatus::kStageInFailed:
+    case GramStatus::kDiskFull:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void CondorG::submit_to(Gatekeeper& gk, GramJob job, GramCallback done) {
+  ++submissions_;
+  attempt(gk, std::move(job), std::move(done), cfg_.max_retries);
+}
+
+void CondorG::attempt(Gatekeeper& gk, GramJob job, GramCallback done,
+                      int tries_left) {
+  // The job is copied into the gatekeeper; keep our own copy for retry.
+  auto retry_job = std::make_shared<GramJob>(job);
+  auto cb = std::make_shared<GramCallback>(std::move(done));
+  gk.submit(std::move(job), [this, &gk, retry_job, cb,
+                             tries_left](const GramResult& r) {
+    if (!r.ok() && is_transient(r.status) && tries_left > 0) {
+      ++retries_;
+      sim_.schedule_in(cfg_.retry_backoff, [this, &gk, retry_job, cb,
+                                            tries_left] {
+        attempt(gk, *retry_job, std::move(*cb), tries_left - 1);
+      });
+      return;
+    }
+    if (*cb) (*cb)(r);
+  });
+}
+
+}  // namespace grid3::gram

@@ -1,0 +1,49 @@
+// Condor-G: the client-side computation-management agent (paper ref
+// [41]).  Grid3 experiments submitted through Condor-G, which persists a
+// job until the remote gatekeeper accepts it, retrying transient refusals
+// (overload, downtime) with backoff.  Permanent failures (authentication,
+// policy rejection) pass straight through to the caller -- DAGMan decides
+// what to do with those.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "gram/gatekeeper.h"
+#include "sim/simulation.h"
+
+namespace grid3::gram {
+
+struct CondorGConfig {
+  int max_retries = 3;
+  Time retry_backoff = Time::minutes(5);
+};
+
+[[nodiscard]] bool is_transient(GramStatus s);
+
+class CondorG {
+ public:
+  CondorG(sim::Simulation& sim, CondorGConfig cfg = {})
+      : sim_{sim}, cfg_{cfg} {}
+  CondorG(const CondorG&) = delete;
+  CondorG& operator=(const CondorG&) = delete;
+
+  /// Submit `job` to `gk`, retrying transient failures.  The callback
+  /// fires exactly once with the final result (last attempt's result on
+  /// exhaustion).
+  void submit_to(Gatekeeper& gk, GramJob job, GramCallback done);
+
+  [[nodiscard]] std::uint64_t submissions() const { return submissions_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
+ private:
+  void attempt(Gatekeeper& gk, GramJob job, GramCallback done,
+               int tries_left);
+
+  sim::Simulation& sim_;
+  CondorGConfig cfg_;
+  std::uint64_t submissions_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace grid3::gram

@@ -1,0 +1,25 @@
+#include "gridftp/netlogger.h"
+
+namespace grid3::gridftp {
+
+void NetLogger::log(Time t, std::string program, std::string event,
+                    std::string detail, double value) {
+  events_.push_back(
+      {t, std::move(program), std::move(event), std::move(detail), value});
+}
+
+std::size_t NetLogger::count(const std::string& event) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.event == event) ++n;
+  }
+  return n;
+}
+
+std::map<std::string, std::size_t> NetLogger::counts_by_event() const {
+  std::map<std::string, std::size_t> out;
+  for (const auto& e : events_) ++out[e.event];
+  return out;
+}
+
+}  // namespace grid3::gridftp

@@ -1,0 +1,116 @@
+#include "mds/giis.h"
+
+#include <algorithm>
+
+namespace grid3::mds {
+
+std::optional<AttrValue> SiteSnapshot::get(std::string_view key) const {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::optional<std::int64_t> SiteSnapshot::get_int(std::string_view key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  if (const auto* p = std::get_if<std::int64_t>(&*v)) return *p;
+  if (const auto* d = std::get_if<double>(&*v)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> SiteSnapshot::get_string(
+    std::string_view key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  if (const auto* p = std::get_if<std::string>(&*v)) return *p;
+  return to_string(*v);
+}
+
+std::optional<bool> SiteSnapshot::get_bool(std::string_view key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  if (const auto* p = std::get_if<bool>(&*v)) return *p;
+  return std::nullopt;
+}
+
+void Giis::register_gris(const Gris* gris) {
+  if (gris == nullptr) return;
+  direct_.push_back(gris);
+}
+
+void Giis::register_child(const Giis* child) {
+  if (child == nullptr || child == this) return;
+  children_.push_back(child);
+}
+
+void Giis::deregister_gris(const std::string& site_name) {
+  direct_.erase(std::remove_if(direct_.begin(), direct_.end(),
+                               [&](const Gris* g) {
+                                 return g->site() == site_name;
+                               }),
+                direct_.end());
+  cache_.erase(site_name);
+}
+
+std::vector<std::string> Giis::sites() const {
+  std::vector<std::string> out;
+  for (const Gris* g : direct_) out.push_back(g->site());
+  for (const Giis* c : children_) {
+    for (auto& s : c->sites()) out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<SiteSnapshot> Giis::fetch(const Gris& gris, Time now) const {
+  auto cached = cache_.find(gris.site());
+  const bool have_cache = cached != cache_.end();
+  if (have_cache && now - cached->second.fetched < ttl_) {
+    return cached->second;
+  }
+  if (gris.available()) {
+    SiteSnapshot snap;
+    snap.site = gris.site();
+    snap.fetched = now;
+    snap.fresh = true;
+    for (auto& [k, a] : gris.dump()) snap.attrs.emplace(k, a);
+    cache_[snap.site] = snap;
+    return snap;
+  }
+  // GRIS down: serve the stale snapshot within a grace period of one
+  // additional TTL (MDS kept cached entries briefly), then drop the site.
+  if (have_cache && now - cached->second.fetched < ttl_ + ttl_) {
+    SiteSnapshot stale = cached->second;
+    stale.fresh = false;
+    return stale;
+  }
+  return std::nullopt;
+}
+
+std::optional<SiteSnapshot> Giis::lookup(const std::string& site,
+                                         Time now) const {
+  if (!up_) return std::nullopt;
+  for (const Gris* g : direct_) {
+    if (g->site() == site) return fetch(*g, now);
+  }
+  for (const Giis* c : children_) {
+    if (auto snap = c->lookup(site, now)) return snap;
+  }
+  return std::nullopt;
+}
+
+std::vector<SiteSnapshot> Giis::find(
+    const std::function<bool(const SiteSnapshot&)>& pred, Time now) const {
+  std::vector<SiteSnapshot> out;
+  if (!up_) return out;
+  for (const std::string& site : sites()) {
+    auto snap = lookup(site, now);
+    if (snap && pred(*snap)) out.push_back(std::move(*snap));
+  }
+  return out;
+}
+
+}  // namespace grid3::mds

@@ -1,0 +1,78 @@
+// GIIS: hierarchical Grid Index Information Service.
+//
+// Two-tier registration as deployed on Grid3 (section 5): each site GRIS
+// registers with its VO's GIIS, and VO GIISes register with the top-level
+// iGOC index.  Queries read through a per-site cache refreshed lazily when
+// older than the TTL; if a GRIS is down the cached snapshot is served
+// until it expires, after which the site drops out of query results.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mds/gris.h"
+
+namespace grid3::mds {
+
+/// A cached snapshot of one site's GRIS contents.
+struct SiteSnapshot {
+  std::string site;
+  Time fetched;
+  bool fresh = false;  ///< false when served past-TTL or never fetched
+  std::map<std::string, Attribute, std::less<>> attrs;
+
+  [[nodiscard]] std::optional<AttrValue> get(std::string_view key) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> get_string(std::string_view key) const;
+  [[nodiscard]] std::optional<bool> get_bool(std::string_view key) const;
+};
+
+class Giis {
+ public:
+  Giis(std::string name, Time cache_ttl)
+      : name_{std::move(name)}, ttl_{cache_ttl} {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Register a site GRIS with this index (non-owning; the Site owns it).
+  void register_gris(const Gris* gris);
+  /// Register a child index (VO GIIS -> top-level GIIS).
+  void register_child(const Giis* child);
+
+  void deregister_gris(const std::string& site_name);
+
+  /// All site names reachable through this index (direct + children).
+  [[nodiscard]] std::vector<std::string> sites() const;
+
+  /// Snapshot of a site, refreshing the cache if stale.  Returns nullopt
+  /// when the site is unknown or its cache expired with the GRIS down.
+  [[nodiscard]] std::optional<SiteSnapshot> lookup(const std::string& site,
+                                                   Time now) const;
+
+  /// All sites whose snapshot satisfies `pred` (discovery queries, e.g.
+  /// "sites with app X installed and >= N free CPUs").
+  [[nodiscard]] std::vector<SiteSnapshot> find(
+      const std::function<bool(const SiteSnapshot&)>& pred, Time now) const;
+
+  void set_available(bool up) { up_ = up; }
+  [[nodiscard]] bool available() const { return up_; }
+
+  [[nodiscard]] Time ttl() const { return ttl_; }
+
+ private:
+  [[nodiscard]] std::optional<SiteSnapshot> fetch(const Gris& gris,
+                                                  Time now) const;
+
+  std::string name_;
+  Time ttl_;
+  bool up_ = true;
+  std::vector<const Gris*> direct_;
+  std::vector<const Giis*> children_;
+  // Cache is conceptually server state mutated by reads.
+  mutable std::map<std::string, SiteSnapshot> cache_;
+};
+
+}  // namespace grid3::mds

@@ -1,0 +1,30 @@
+#include "mds/gris.h"
+
+namespace grid3::mds {
+
+void Gris::publish(std::string_view key, AttrValue value, Time now) {
+  attrs_.insert_or_assign(std::string{key}, Attribute{std::move(value), now});
+}
+
+bool Gris::retract(std::string_view key) {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return false;
+  attrs_.erase(it);
+  return true;
+}
+
+std::optional<Attribute> Gris::query(std::string_view key) const {
+  if (!up_) return std::nullopt;
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, Attribute>> Gris::dump() const {
+  std::vector<std::pair<std::string, Attribute>> out;
+  out.reserve(attrs_.size());
+  for (const auto& [k, v] : attrs_) out.emplace_back(k, v);
+  return out;
+}
+
+}  // namespace grid3::mds

@@ -1,0 +1,25 @@
+#include "mds/schema.h"
+
+#include <sstream>
+
+namespace grid3::mds {
+
+std::string to_string(const AttrValue& v) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& x) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(x)>, bool>) {
+          os << (x ? "true" : "false");
+        } else {
+          os << x;
+        }
+      },
+      v);
+  return os.str();
+}
+
+std::string app_attribute(std::string_view app_name) {
+  return std::string{grid3ext::kAppPrefix} + std::string{app_name};
+}
+
+}  // namespace grid3::mds

@@ -1,0 +1,56 @@
+// GLUE-style information schema with the Grid3 extensions.
+//
+// The paper (section 5.1): "information providers were developed for site
+// configuration parameters such as application installation areas,
+// temporary working directories, storage element locations, and VDT
+// software installation locations.  Only a few extensions to the GLUE MDS
+// schema were required."  Those extensions are first-class here because
+// the application-installation workflow (section 6.1) reads them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace grid3::mds {
+
+using AttrValue = std::variant<std::string, std::int64_t, double, bool>;
+
+/// Render an attribute value for display / LDIF-style dumps.
+[[nodiscard]] std::string to_string(const AttrValue& v);
+
+/// Canonical GLUE keys used across the simulator.
+namespace glue {
+inline constexpr std::string_view kSiteName = "GlueSiteName";
+inline constexpr std::string_view kTotalCpus = "GlueCEInfoTotalCPUs";
+inline constexpr std::string_view kFreeCpus = "GlueCEStateFreeCPUs";
+inline constexpr std::string_view kRunningJobs = "GlueCEStateRunningJobs";
+inline constexpr std::string_view kWaitingJobs = "GlueCEStateWaitingJobs";
+inline constexpr std::string_view kMaxWallClockMinutes =
+    "GlueCEPolicyMaxWallClockTime";
+inline constexpr std::string_view kLrmsType = "GlueCEInfoLRMSType";
+inline constexpr std::string_view kSeAvailableGb = "GlueSAStateAvailableSpace";
+inline constexpr std::string_view kSeTotalGb = "GlueSATotalSpace";
+}  // namespace glue
+
+/// Grid3 schema extensions (site configuration conventions, section 5.1).
+namespace grid3ext {
+inline constexpr std::string_view kAppDir = "Grid3AppDir";
+inline constexpr std::string_view kTmpDir = "Grid3TmpDir";
+inline constexpr std::string_view kDataDir = "Grid3DataDir";
+inline constexpr std::string_view kVdtLocation = "Grid3VdtLocation";
+inline constexpr std::string_view kVdtVersion = "Grid3VdtVersion";
+inline constexpr std::string_view kSiteOwnerVo = "Grid3SiteOwnerVO";
+inline constexpr std::string_view kOutboundConnectivity =
+    "Grid3OutboundConnectivity";
+/// Installed-application marker prefix: an app publishes
+/// "Grid3App-<name>" = version once its Pacman install validated.
+inline constexpr std::string_view kAppPrefix = "Grid3App-";
+}  // namespace grid3ext
+
+/// Key for an installed application marker.
+[[nodiscard]] std::string app_attribute(std::string_view app_name);
+
+}  // namespace grid3::mds

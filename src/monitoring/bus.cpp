@@ -1,0 +1,76 @@
+#include "monitoring/bus.h"
+
+#include <algorithm>
+
+namespace grid3::monitoring {
+namespace {
+
+bool name_matches(const std::string& pattern, const std::string& name) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return name.compare(0, pattern.size() - 1, pattern, 0,
+                        pattern.size() - 1) == 0;
+  }
+  return pattern == name;
+}
+
+}  // namespace
+
+void MetricBus::publish(const std::string& site, const std::string& name,
+                        Time t, double value) {
+  ++published_;
+  series_[{site, name}].append(t, value);
+  for (const Subscriber& s : subscribers_) {
+    if (name_matches(s.name, name) && (s.site == "*" || s.site == site)) {
+      s.cb({site, name}, t, value);
+    }
+  }
+}
+
+SubscriptionId MetricBus::subscribe(const std::string& site,
+                                    const std::string& name,
+                                    MetricCallback cb) {
+  const SubscriptionId id = next_sub_++;
+  subscribers_.push_back({id, site, name, std::move(cb)});
+  return id;
+}
+
+void MetricBus::unsubscribe(SubscriptionId id) {
+  subscribers_.erase(
+      std::remove_if(subscribers_.begin(), subscribers_.end(),
+                     [&](const Subscriber& s) { return s.id == id; }),
+      subscribers_.end());
+}
+
+std::optional<util::TimePoint> MetricBus::latest(
+    const std::string& site, const std::string& name) const {
+  auto it = series_.find({site, name});
+  if (it == series_.end() || it->second.empty()) return std::nullopt;
+  return it->second.points().back();
+}
+
+const util::TimeSeries& MetricBus::series(const std::string& site,
+                                          const std::string& name) const {
+  auto it = series_.find({site, name});
+  return it == series_.end() ? empty_ : it->second;
+}
+
+std::vector<MetricKey> MetricBus::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<MetricKey> out;
+  for (const auto& [key, ts] : series_) {
+    if (key.name.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> MetricBus::sites_for(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [key, ts] : series_) {
+    if (key.name == name) out.push_back(key.site);
+  }
+  return out;
+}
+
+}  // namespace grid3::monitoring

@@ -1,0 +1,78 @@
+// The producer/intermediary/consumer metric fabric of Figure 1.
+//
+// "Information producers collect information close to its source, a
+// common intermediary defines a uniform representation and access
+// methods, and information is centrally collected..."  The MetricBus is
+// that common intermediary: producers publish (site, metric, t, value)
+// tuples; consumers either subscribe for streams or poll for the latest
+// value / full series.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/timeseries.h"
+#include "util/units.h"
+
+namespace grid3::monitoring {
+
+struct MetricKey {
+  std::string site;
+  std::string name;
+  auto operator<=>(const MetricKey&) const = default;
+};
+
+using MetricCallback =
+    std::function<void(const MetricKey&, Time, double)>;
+using SubscriptionId = std::uint64_t;
+
+class MetricBus {
+ public:
+  /// Publish a sample.  Fans out to matching subscribers synchronously.
+  void publish(const std::string& site, const std::string& name, Time t,
+               double value);
+
+  /// Subscribe to a metric name; `site` may be "*" for all sites, and a
+  /// `name` ending in '*' matches by prefix (e.g. "monalisa.*").
+  SubscriptionId subscribe(const std::string& site, const std::string& name,
+                           MetricCallback cb);
+  void unsubscribe(SubscriptionId id);
+
+  /// Latest sample for a key.
+  [[nodiscard]] std::optional<util::TimePoint> latest(
+      const std::string& site, const std::string& name) const;
+
+  /// Full retained series (empty series when unknown).
+  [[nodiscard]] const util::TimeSeries& series(const std::string& site,
+                                               const std::string& name) const;
+
+  /// All sites that ever published a given metric name.
+  [[nodiscard]] std::vector<std::string> sites_for(
+      const std::string& name) const;
+
+  /// All (site, name) keys whose name starts with `prefix`.
+  [[nodiscard]] std::vector<MetricKey> keys_with_prefix(
+      const std::string& prefix) const;
+
+  [[nodiscard]] std::size_t key_count() const { return series_.size(); }
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+
+ private:
+  struct Subscriber {
+    SubscriptionId id;
+    std::string site;  // "*" = wildcard
+    std::string name;
+    MetricCallback cb;
+  };
+
+  std::map<MetricKey, util::TimeSeries> series_;
+  std::vector<Subscriber> subscribers_;
+  SubscriptionId next_sub_ = 1;
+  std::uint64_t published_ = 0;
+  util::TimeSeries empty_;
+};
+
+}  // namespace grid3::monitoring

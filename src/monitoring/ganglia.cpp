@@ -1,0 +1,45 @@
+#include "monitoring/ganglia.h"
+
+namespace grid3::monitoring {
+
+void GangliaGmond::sample(Time now) {
+  if (!up_) return;
+  ++samples_;
+  const HostMetrics m = source_();
+  bus_.publish(site_, gmetric::kCpuLoad, now, m.load_one);
+  bus_.publish(site_, gmetric::kCpusTotal, now,
+               static_cast<double>(m.cpus_total));
+  bus_.publish(site_, gmetric::kCpusBusy, now,
+               static_cast<double>(m.cpus_busy));
+  bus_.publish(site_, gmetric::kDiskFreeGb, now, m.disk_free_gb);
+  bus_.publish(site_, gmetric::kNetInMbps, now, m.net_in_mbps);
+  bus_.publish(site_, gmetric::kNetOutMbps, now, m.net_out_mbps);
+  bus_.publish(site_, gmetric::kHeartbeat, now, 1.0);
+}
+
+GangliaGmetad::GridSummary GangliaGmetad::summarize(Time now) const {
+  GridSummary s;
+  for (const std::string& site : bus_.sites_for(gmetric::kHeartbeat)) {
+    const auto beat = bus_.latest(site, gmetric::kHeartbeat);
+    if (!beat.has_value() || now - beat->t > stale_after_) {
+      s.missing_sites.push_back(site);
+      continue;
+    }
+    ++s.sites_reporting;
+    if (auto v = bus_.latest(site, gmetric::kCpusTotal)) {
+      s.cpus_total += static_cast<int>(v->value);
+    }
+    if (auto v = bus_.latest(site, gmetric::kCpusBusy)) {
+      s.cpus_busy += static_cast<int>(v->value);
+    }
+    if (auto v = bus_.latest(site, gmetric::kCpuLoad)) {
+      s.load_sum += v->value;
+    }
+    if (auto v = bus_.latest(site, gmetric::kDiskFreeGb)) {
+      s.disk_free_gb += v->value;
+    }
+  }
+  return s;
+}
+
+}  // namespace grid3::monitoring

@@ -1,0 +1,89 @@
+// Ganglia-style cluster monitoring (paper section 5.2): a gmond daemon
+// per site samples host-level metrics and publishes them; a gmetad
+// aggregator at the iGOC serves grid-wide summary views with
+// hierarchical grid views.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitoring/bus.h"
+#include "util/units.h"
+
+namespace grid3::monitoring {
+
+/// Canonical Ganglia metric names used across the simulator.
+namespace gmetric {
+inline constexpr const char* kCpuLoad = "ganglia.load_one";
+inline constexpr const char* kCpusTotal = "ganglia.cpu_num";
+inline constexpr const char* kCpusBusy = "ganglia.cpu_busy";
+inline constexpr const char* kDiskFreeGb = "ganglia.disk_free";
+inline constexpr const char* kNetInMbps = "ganglia.bytes_in";
+inline constexpr const char* kNetOutMbps = "ganglia.bytes_out";
+inline constexpr const char* kHeartbeat = "ganglia.heartbeat";
+}  // namespace gmetric
+
+/// Snapshot a site feeds its gmond each sampling round; the glue between
+/// the physical site model and the monitoring fabric.
+struct HostMetrics {
+  double load_one = 0.0;
+  int cpus_total = 0;
+  int cpus_busy = 0;
+  double disk_free_gb = 0.0;
+  double net_in_mbps = 0.0;
+  double net_out_mbps = 0.0;
+};
+
+using MetricsSource = std::function<HostMetrics()>;
+
+/// Per-site collector daemon.
+class GangliaGmond {
+ public:
+  GangliaGmond(std::string site, MetricBus& bus, MetricsSource source)
+      : site_{std::move(site)}, bus_{bus}, source_{std::move(source)} {}
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+  /// One sampling round: read the source, publish all metrics.  Driven by
+  /// a PeriodicProcess in the site model.  No-op while down.
+  void sample(Time now);
+
+  void set_available(bool up) { up_ = up; }
+  [[nodiscard]] bool available() const { return up_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+ private:
+  std::string site_;
+  MetricBus& bus_;
+  MetricsSource source_;
+  bool up_ = true;
+  std::uint64_t samples_ = 0;
+};
+
+/// iGOC-side aggregator: grid-wide totals from the latest per-site data.
+/// A site whose heartbeat is older than `stale_after` is excluded (and
+/// reported missing), matching gmetad's behaviour when a gmond dies.
+class GangliaGmetad {
+ public:
+  GangliaGmetad(const MetricBus& bus, Time stale_after = Time::minutes(10))
+      : bus_{bus}, stale_after_{stale_after} {}
+
+  struct GridSummary {
+    int sites_reporting = 0;
+    int cpus_total = 0;
+    int cpus_busy = 0;
+    double load_sum = 0.0;
+    double disk_free_gb = 0.0;
+    std::vector<std::string> missing_sites;
+  };
+
+  [[nodiscard]] GridSummary summarize(Time now) const;
+
+ private:
+  const MetricBus& bus_;
+  Time stale_after_;
+};
+
+}  // namespace grid3::monitoring

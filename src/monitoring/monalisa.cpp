@@ -1,0 +1,65 @@
+#include "monitoring/monalisa.h"
+
+namespace grid3::monitoring {
+
+std::string vo_metric(const char* base, const std::string& vo) {
+  return std::string{base} + "." + vo;
+}
+
+void MonalisaAgent::report(const std::string& metric, Time now,
+                           double value) {
+  if (!up_) return;
+  ++reports_;
+  bus_.publish(site_, metric, now, value);
+}
+
+util::RoundRobinArchive MonalisaRepository::make_archive() {
+  // 5-minute primary slots for two days, hourly for two weeks, daily for
+  // a year -- ample for the 7-month scenario while staying bounded.
+  return util::RoundRobinArchive{
+      {{Time::minutes(5), 576}, {Time::hours(1), 336}, {Time::days(1), 366}},
+      util::Consolidation::kAverage};
+}
+
+MonalisaRepository::MonalisaRepository(MetricBus& bus) : bus_{bus} {
+  // One prefix subscription covers the fixed names and every per-VO key
+  // agents mint later.
+  subs_.push_back(bus_.subscribe(
+      "*", "monalisa.*", [this](const MetricKey& key, Time t, double value) {
+        ingest(key, t, value);
+      }));
+}
+
+MonalisaRepository::~MonalisaRepository() {
+  for (SubscriptionId id : subs_) bus_.unsubscribe(id);
+}
+
+void MonalisaRepository::ingest(const MetricKey& key, Time t, double value) {
+  auto it = archives_.find(key);
+  if (it == archives_.end()) {
+    it = archives_.emplace(key, make_archive()).first;
+  }
+  it->second.update(t, value);
+  ++updates_;
+}
+
+std::optional<double> MonalisaRepository::read(const std::string& site,
+                                               const std::string& metric,
+                                               Time t) const {
+  auto it = archives_.find({site, metric});
+  if (it == archives_.end()) return std::nullopt;
+  return it->second.read(t);
+}
+
+double MonalisaRepository::grid_total(const std::string& metric,
+                                      Time t) const {
+  double total = 0.0;
+  for (const auto& [key, archive] : archives_) {
+    if (key.name == metric) {
+      if (auto v = archive.read(t)) total += *v;
+    }
+  }
+  return total;
+}
+
+}  // namespace grid3::monitoring

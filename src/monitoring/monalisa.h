@@ -1,0 +1,85 @@
+// MonALISA: agent-based monitoring (paper section 5.2).
+//
+// Site agents watch local sources (GRAM logs, job queues, Ganglia
+// metrics) and stream VO-tagged activity to the central repository at
+// the iGOC, which stores everything in a round-robin database and serves
+// web queries.  The repository path is deliberately *redundant* with the
+// Ganglia/ACDC paths -- "permitting crosschecks on the data collected".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "monitoring/bus.h"
+#include "util/rrd.h"
+#include "util/units.h"
+
+namespace grid3::monitoring {
+
+/// VO-activity metric names MonALISA agents derive at sites.
+namespace mlmetric {
+inline constexpr const char* kVoJobsRunning = "monalisa.vo_jobs_running";
+inline constexpr const char* kVoJobsQueued = "monalisa.vo_jobs_queued";
+inline constexpr const char* kGatekeeperLoad = "monalisa.gatekeeper_load";
+inline constexpr const char* kIoMbps = "monalisa.io_mbps";
+}  // namespace mlmetric
+
+/// Compose a per-VO metric key name, e.g. "monalisa.vo_jobs_running.usatlas".
+[[nodiscard]] std::string vo_metric(const char* base, const std::string& vo);
+
+/// Site-resident agent: re-publishes selected local metrics onto the bus
+/// under MonALISA names and forwards them to the central repository.
+class MonalisaAgent {
+ public:
+  MonalisaAgent(std::string site, MetricBus& bus)
+      : site_{std::move(site)}, bus_{bus} {}
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+  /// Report one observation (called by the site model's sampling loop).
+  void report(const std::string& metric, Time now, double value);
+
+  void set_available(bool up) { up_ = up; }
+  [[nodiscard]] bool available() const { return up_; }
+  [[nodiscard]] std::uint64_t reports() const { return reports_; }
+
+ private:
+  std::string site_;
+  MetricBus& bus_;
+  bool up_ = true;
+  std::uint64_t reports_ = 0;
+};
+
+/// Central repository: subscribes to MonALISA metrics on the bus and
+/// persists them into bounded round-robin archives, one per key.
+class MonalisaRepository {
+ public:
+  explicit MonalisaRepository(MetricBus& bus);
+  ~MonalisaRepository();
+  MonalisaRepository(const MonalisaRepository&) = delete;
+  MonalisaRepository& operator=(const MonalisaRepository&) = delete;
+
+  /// Consolidated value for (site, metric) covering time t, if retained.
+  [[nodiscard]] std::optional<double> read(const std::string& site,
+                                           const std::string& metric,
+                                           Time t) const;
+
+  /// Sum across sites of the consolidated values covering time t.
+  [[nodiscard]] double grid_total(const std::string& metric, Time t) const;
+
+  [[nodiscard]] std::size_t archived_keys() const { return archives_.size(); }
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+
+ private:
+  void ingest(const MetricKey& key, Time t, double value);
+  [[nodiscard]] static util::RoundRobinArchive make_archive();
+
+  MetricBus& bus_;
+  std::vector<SubscriptionId> subs_;
+  std::map<MetricKey, util::RoundRobinArchive> archives_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace grid3::monitoring

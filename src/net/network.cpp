@@ -1,0 +1,266 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace grid3::net {
+
+const char* to_string(FlowStatus s) {
+  switch (s) {
+    case FlowStatus::kCompleted: return "completed";
+    case FlowStatus::kFailedNetworkInterruption: return "network-interruption";
+    case FlowStatus::kFailedNoRoute: return "no-route";
+    case FlowStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+NodeId Network::add_node(NodeConfig cfg) {
+  nodes_.push_back({std::move(cfg), true, Bytes::zero(), Bytes::zero()});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& Network::node_name(NodeId n) const {
+  return nodes_.at(n).cfg.name;
+}
+
+bool Network::node_up(NodeId n) const { return nodes_.at(n).up; }
+
+void Network::set_node_up(NodeId n, bool up) {
+  Node& node = nodes_.at(n);
+  if (node.up == up) return;
+  settle();
+  node.up = up;
+  if (!up) {
+    // Fail every flow touching the node.  Collect ids first: finishing a
+    // flow mutates the map and runs user callbacks.
+    std::vector<FlowId> victims;
+    for (const auto& [id, f] : flows_) {
+      if (f.src == n || f.dst == n) victims.push_back(id);
+    }
+    for (FlowId id : victims) {
+      finish_flow(id, FlowStatus::kFailedNetworkInterruption);
+    }
+  }
+  reallocate();
+}
+
+void Network::block_route(NodeId src, NodeId dst) {
+  blocked_[{src, dst}] = true;
+}
+
+void Network::unblock_route(NodeId src, NodeId dst) {
+  blocked_.erase({src, dst});
+}
+
+bool Network::route_open(NodeId src, NodeId dst) const {
+  if (blocked_.contains({src, dst})) return false;
+  return nodes_.at(src).cfg.outbound_allowed || src == dst;
+}
+
+FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size,
+                           FlowCallback done) {
+  assert(src < nodes_.size() && dst < nodes_.size());
+  const Time now = sim_.now();
+  if (!route_open(src, dst) || !nodes_[src].up || !nodes_[dst].up) {
+    FlowResult r;
+    r.status = !route_open(src, dst) ? FlowStatus::kFailedNoRoute
+                                     : FlowStatus::kFailedNetworkInterruption;
+    r.requested = size;
+    r.started = r.finished = now;
+    if (done) done(r);
+    return 0;
+  }
+  settle();
+  const FlowId id = next_flow_++;
+  Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.size = size;
+  f.started = now;
+  f.last_update = now;
+  f.callback = std::move(done);
+  flows_.emplace(id, std::move(f));
+  reallocate();
+  return id;
+}
+
+void Network::cancel_flow(FlowId id) {
+  if (!flows_.contains(id)) return;
+  settle();
+  finish_flow(id, FlowStatus::kCancelled);
+  reallocate();
+}
+
+Bandwidth Network::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? Bandwidth{}
+                            : Bandwidth::bytes_per_sec(it->second.rate_bps);
+}
+
+Bytes Network::bytes_received(NodeId n) const { return nodes_.at(n).received; }
+Bytes Network::bytes_sent(NodeId n) const { return nodes_.at(n).sent; }
+
+Bandwidth Network::rate_in(NodeId n) const {
+  double bps = 0.0;
+  for (const auto& [id, f] : flows_) {
+    if (f.dst == n && f.rate_bps > 0.0) bps += f.rate_bps;
+  }
+  return Bandwidth::bytes_per_sec(bps);
+}
+
+Bandwidth Network::rate_out(NodeId n) const {
+  double bps = 0.0;
+  for (const auto& [id, f] : flows_) {
+    if (f.src == n && f.rate_bps > 0.0) bps += f.rate_bps;
+  }
+  return Bandwidth::bytes_per_sec(bps);
+}
+
+void Network::settle() {
+  const Time now = sim_.now();
+  for (auto& [id, f] : flows_) {
+    const double secs = (now - f.last_update).to_seconds();
+    if (secs > 0.0 && f.rate_bps > 0.0) {
+      const double moved =
+          std::min(f.rate_bps * secs,
+                   static_cast<double>(f.size.count()) - f.done_bytes);
+      f.done_bytes += moved;
+      // Credit node counters in whole bytes without accumulation drift.
+      const auto whole = static_cast<std::int64_t>(f.done_bytes);
+      const auto delta = Bytes::of(whole - f.credited);
+      f.credited = whole;
+      nodes_[f.src].sent += delta;
+      nodes_[f.dst].received += delta;
+    }
+    f.last_update = now;
+  }
+}
+
+void Network::reallocate() {
+  // Progressive filling over access links.  Each flow uses link (src, out)
+  // and (dst, in).  Repeatedly find the most-constrained unsaturated link,
+  // freeze its flows at the equal share, and continue.
+  struct LinkState {
+    double capacity = 0.0;
+    std::vector<FlowId> flows;
+    bool saturated = false;
+  };
+  // Link key: node * 2 + direction (0 = out, 1 = in).
+  std::map<std::uint64_t, LinkState> links;
+  for (auto& [id, f] : flows_) {
+    f.rate_bps = -1.0;  // unassigned
+    auto& out = links[static_cast<std::uint64_t>(f.src) * 2];
+    out.capacity = nodes_[f.src].cfg.uplink.bps();
+    out.flows.push_back(id);
+    auto& in = links[static_cast<std::uint64_t>(f.dst) * 2 + 1];
+    in.capacity = nodes_[f.dst].cfg.downlink.bps();
+    in.flows.push_back(id);
+  }
+
+  auto unassigned_on = [&](const LinkState& l) {
+    std::size_t n = 0;
+    for (FlowId id : l.flows) {
+      if (flows_.at(id).rate_bps < 0.0) ++n;
+    }
+    return n;
+  };
+
+  while (true) {
+    double best_share = 0.0;
+    LinkState* best = nullptr;
+    for (auto& [key, l] : links) {
+      if (l.saturated) continue;
+      const std::size_t n = unassigned_on(l);
+      if (n == 0) {
+        l.saturated = true;
+        continue;
+      }
+      const double share = l.capacity / static_cast<double>(n);
+      if (best == nullptr || share < best_share) {
+        best_share = share;
+        best = &l;
+      }
+    }
+    if (best == nullptr) break;
+    best->saturated = true;
+    for (FlowId id : best->flows) {
+      Flow& f = flows_.at(id);
+      if (f.rate_bps < 0.0) {
+        f.rate_bps = best_share;
+        // Deduct the frozen flow's rate from its other link.
+        for (auto& [key, l] : links) {
+          if (&l == best || l.saturated) continue;
+          if (std::find(l.flows.begin(), l.flows.end(), id) != l.flows.end()) {
+            l.capacity = std::max(0.0, l.capacity - best_share);
+          }
+        }
+      }
+    }
+  }
+
+  // Reschedule completion events at the new rates.
+  const Time now = sim_.now();
+  for (auto& [id, f] : flows_) {
+    if (f.rate_bps < 0.0) f.rate_bps = 0.0;
+    if (f.completion != 0) {
+      sim_.cancel(f.completion);
+      f.completion = 0;
+    }
+    const double remaining =
+        static_cast<double>(f.size.count()) - f.done_bytes;
+    if (remaining <= 0.0) {
+      const FlowId fid = id;
+      f.completion = sim_.schedule_at(now, [this, fid] {
+        settle();
+        finish_flow(fid, FlowStatus::kCompleted);
+        reallocate();
+      });
+    } else if (f.rate_bps > 0.0) {
+      const Time eta = Time::seconds(remaining / f.rate_bps);
+      const FlowId fid = id;
+      f.completion =
+          sim_.schedule_at(now + eta + Time::micros(1), [this, fid] {
+            settle();
+            auto it = flows_.find(fid);
+            if (it == flows_.end()) return;
+            if (it->second.done_bytes >=
+                static_cast<double>(it->second.size.count()) - 0.5) {
+              finish_flow(fid, FlowStatus::kCompleted);
+              reallocate();
+            }
+            // Otherwise the rate changed since scheduling; reallocate()
+            // already armed a fresh completion event.
+          });
+    }
+  }
+}
+
+void Network::finish_flow(FlowId id, FlowStatus status) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow f = std::move(it->second);
+  flows_.erase(it);
+  if (f.completion != 0) sim_.cancel(f.completion);
+
+  if (status == FlowStatus::kCompleted) {
+    // Settle rounding: a completed flow delivered exactly `size` bytes.
+    const Bytes tail = Bytes::of(f.size.count() - f.credited);
+    nodes_[f.src].sent += tail;
+    nodes_[f.dst].received += tail;
+  }
+
+  FlowResult r;
+  r.id = id;
+  r.status = status;
+  r.requested = f.size;
+  r.transferred = status == FlowStatus::kCompleted
+                      ? f.size
+                      : Bytes::of(static_cast<std::int64_t>(f.done_bytes));
+  r.started = f.started;
+  r.finished = sim_.now();
+  if (f.callback) f.callback(r);
+}
+
+}  // namespace grid3::net

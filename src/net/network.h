@@ -1,0 +1,136 @@
+// Wide-area network model connecting Grid3 sites.
+//
+// Topology: every node (site NIC, external archive) has an access link
+// into an over-provisioned backbone -- the realistic regime for 2003
+// ESnet/Abilene paths, where the site uplink (often the gatekeeper NIC,
+// paper section 6.4 requirement 4) was the bottleneck.  Concurrent flows
+// share links max-min fairly via progressive filling; rates are
+// recomputed on every flow arrival/departure and node outage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace grid3::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+enum class FlowStatus {
+  kCompleted,
+  kFailedNetworkInterruption,  ///< an endpoint went down mid-transfer
+  kFailedNoRoute,              ///< firewall / connectivity policy refused
+  kCancelled,
+};
+
+[[nodiscard]] const char* to_string(FlowStatus s);
+
+struct FlowResult {
+  FlowId id = 0;
+  FlowStatus status = FlowStatus::kCompleted;
+  Bytes requested;
+  Bytes transferred;
+  Time started;
+  Time finished;
+  [[nodiscard]] bool ok() const { return status == FlowStatus::kCompleted; }
+  [[nodiscard]] Bandwidth achieved() const {
+    const double secs = (finished - started).to_seconds();
+    return secs > 0 ? Bandwidth::bytes_per_sec(
+                          static_cast<double>(transferred.count()) / secs)
+                    : Bandwidth{};
+  }
+};
+
+using FlowCallback = std::function<void(const FlowResult&)>;
+
+struct NodeConfig {
+  std::string name;
+  Bandwidth uplink = Bandwidth::mbps(100);
+  Bandwidth downlink = Bandwidth::mbps(100);
+  /// Worker nodes on a private network cannot open outbound connections
+  /// (application site-selection requirement 1, section 6.4).
+  bool outbound_allowed = true;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& sim) : sim_{sim} {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_node(NodeConfig cfg);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId n) const;
+
+  /// Mark an endpoint down/up (network interruption injection).  Going
+  /// down fails all flows touching the node.
+  void set_node_up(NodeId n, bool up);
+  [[nodiscard]] bool node_up(NodeId n) const;
+
+  /// Firewall rule: block src -> dst (simulates closed ports, section 6.3
+  /// "issues of account privileges, ports, and firewalls").
+  void block_route(NodeId src, NodeId dst);
+  void unblock_route(NodeId src, NodeId dst);
+  [[nodiscard]] bool route_open(NodeId src, NodeId dst) const;
+
+  /// Start a bulk transfer of `size` from src to dst.  The callback fires
+  /// exactly once.  Returns 0 and fires the callback synchronously with
+  /// kFailedNoRoute if connectivity policy refuses the pair.
+  FlowId start_flow(NodeId src, NodeId dst, Bytes size, FlowCallback done);
+
+  void cancel_flow(FlowId id);
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Current max-min fair rate of a flow (0 if unknown/stalled).
+  [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
+
+  /// Cumulative bytes received by a node since construction ("data
+  /// consumed by Grid3 sites", Figure 5).
+  [[nodiscard]] Bytes bytes_received(NodeId n) const;
+  [[nodiscard]] Bytes bytes_sent(NodeId n) const;
+
+  /// Instantaneous aggregate flow rate into / out of a node (monitoring).
+  [[nodiscard]] Bandwidth rate_in(NodeId n) const;
+  [[nodiscard]] Bandwidth rate_out(NodeId n) const;
+
+ private:
+  struct Node {
+    NodeConfig cfg;
+    bool up = true;
+    Bytes received;
+    Bytes sent;
+  };
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    Bytes size;
+    double done_bytes = 0.0;  // fractional accumulation between updates
+    std::int64_t credited = 0;  // whole bytes already added to node counters
+    Time started;
+    Time last_update;
+    double rate_bps = 0.0;
+    sim::EventId completion = 0;
+    FlowCallback callback;
+  };
+
+  /// Advance every flow's transferred-byte count to now at current rates.
+  void settle();
+  /// Progressive-filling max-min fair allocation; reschedules completions.
+  void reallocate();
+  void finish_flow(FlowId id, FlowStatus status);
+
+  sim::Simulation& sim_;
+  std::vector<Node> nodes_;
+  std::map<FlowId, Flow> flows_;
+  std::map<std::pair<NodeId, NodeId>, bool> blocked_;
+  FlowId next_flow_ = 1;
+};
+
+}  // namespace grid3::net

@@ -1,0 +1,62 @@
+#include "pacman/package.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace grid3::pacman {
+
+void PackageCache::add(Package pkg) {
+  auto it = std::find_if(packages_.begin(), packages_.end(),
+                         [&](const Package& p) { return p.name == pkg.name; });
+  if (it != packages_.end()) {
+    *it = std::move(pkg);
+  } else {
+    packages_.push_back(std::move(pkg));
+  }
+}
+
+const Package* PackageCache::find(const std::string& name) const {
+  auto it = std::find_if(packages_.begin(), packages_.end(),
+                         [&](const Package& p) { return p.name == name; });
+  return it == packages_.end() ? nullptr : &*it;
+}
+
+std::optional<std::vector<const Package*>> PackageCache::resolve(
+    const std::string& root) const {
+  std::vector<const Package*> order;
+  std::unordered_set<std::string> done;
+  std::unordered_set<std::string> visiting;
+
+  // Iterative DFS with an explicit stack to avoid recursion limits on
+  // pathological dependency graphs.
+  struct Frame {
+    const Package* pkg;
+    std::size_t next_dep = 0;
+  };
+  const Package* start = find(root);
+  if (start == nullptr) return std::nullopt;
+
+  std::vector<Frame> stack{{start, 0}};
+  visiting.insert(start->name);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_dep < f.pkg->dependencies.size()) {
+      const std::string& dep_name = f.pkg->dependencies[f.next_dep++];
+      if (done.contains(dep_name)) continue;
+      if (visiting.contains(dep_name)) return std::nullopt;  // cycle
+      const Package* dep = find(dep_name);
+      if (dep == nullptr) return std::nullopt;  // missing dependency
+      visiting.insert(dep_name);
+      stack.push_back({dep, 0});
+    } else {
+      order.push_back(f.pkg);
+      done.insert(f.pkg->name);
+      visiting.erase(f.pkg->name);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace grid3::pacman

@@ -1,0 +1,58 @@
+// Pacman-style packaging (paper section 5.1).
+//
+// "A Pacman package encoded the basic VDT-based Grid3 installation" --
+// packages declare dependencies, an install cost, services they provide,
+// and post-install validation checks.  The iGOC hosts the package cache
+// sites pull from.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace grid3::pacman {
+
+/// A named functional check run after installation ("post-installation
+/// testing and certification", section 5.1).
+struct ValidationCheck {
+  std::string name;
+  /// Probability that the check catches a misconfiguration when one is
+  /// present (checks are imperfect; latent defects slip through).
+  double detection_power = 0.9;
+};
+
+struct Package {
+  std::string name;
+  std::string version;
+  std::vector<std::string> dependencies;
+  /// Wall-clock cost of installing this package at a site.
+  Time install_cost = Time::minutes(10);
+  /// Grid services this package provides (e.g. "gram", "gridftp").
+  std::vector<std::string> provides;
+  std::vector<ValidationCheck> checks;
+  /// Probability an installation of this package is silently
+  /// misconfigured before validation runs.
+  double misconfig_probability = 0.05;
+};
+
+/// The iGOC-hosted package cache.
+class PackageCache {
+ public:
+  /// Add or replace a package definition.
+  void add(Package pkg);
+
+  [[nodiscard]] const Package* find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return packages_.size(); }
+
+  /// Dependency closure of `root` in install order (dependencies first).
+  /// Returns nullopt on unknown package or dependency cycle.
+  [[nodiscard]] std::optional<std::vector<const Package*>> resolve(
+      const std::string& root) const;
+
+ private:
+  std::vector<Package> packages_;
+};
+
+}  // namespace grid3::pacman

@@ -1,0 +1,81 @@
+#include "pacman/vdt.h"
+
+namespace grid3::pacman {
+
+std::string load_vdt_bundle(PackageCache& cache) {
+  cache.add({.name = "globus-gsi",
+             .version = "2.4",
+             .dependencies = {},
+             .install_cost = Time::minutes(8),
+             .provides = {"gsi"},
+             .checks = {{"ca-certificates-present", 0.95},
+                        {"gridmap-readable", 0.9}},
+             .misconfig_probability = 0.06});
+  cache.add({.name = "globus-gram",
+             .version = "2.4",
+             .dependencies = {"globus-gsi"},
+             .install_cost = Time::minutes(12),
+             .provides = {"gram"},
+             .checks = {{"gatekeeper-listens", 0.95},
+                        {"jobmanager-fork-roundtrip", 0.85}},
+             .misconfig_probability = 0.08});
+  cache.add({.name = "globus-gridftp",
+             .version = "2.4",
+             .dependencies = {"globus-gsi"},
+             .install_cost = Time::minutes(6),
+             .provides = {"gridftp"},
+             .checks = {{"gridftp-listens", 0.95},
+                        {"firewall-port-range-open", 0.6}},
+             .misconfig_probability = 0.1});
+  cache.add({.name = "globus-mds",
+             .version = "2.4",
+             .dependencies = {"globus-gsi"},
+             .install_cost = Time::minutes(5),
+             .provides = {"gris"},
+             .checks = {{"gris-answers-query", 0.9},
+                        {"giis-registration-visible", 0.7}},
+             .misconfig_probability = 0.07});
+  cache.add({.name = "ganglia",
+             .version = "2.5.6",
+             .dependencies = {},
+             .install_cost = Time::minutes(4),
+             .provides = {"ganglia"},
+             .checks = {{"gmond-multicast-seen", 0.85}},
+             .misconfig_probability = 0.05});
+  cache.add({.name = "monalisa",
+             .version = "0.94",
+             .dependencies = {},
+             .install_cost = Time::minutes(5),
+             .provides = {"monalisa"},
+             .checks = {{"agent-reports-to-repository", 0.85}},
+             .misconfig_probability = 0.05});
+  cache.add({.name = "grid3-info-providers",
+             .version = "1.0",
+             .dependencies = {"globus-mds"},
+             .install_cost = Time::minutes(3),
+             .provides = {"grid3-schema"},
+             .checks = {{"grid3-attributes-published", 0.9}},
+             .misconfig_probability = 0.04});
+  cache.add({.name = "grid3-vdt",
+             .version = kVdtVersion,
+             .dependencies = {"globus-gram", "globus-gridftp", "globus-mds",
+                              "ganglia", "monalisa", "grid3-info-providers"},
+             .install_cost = Time::minutes(2),
+             .provides = {},
+             .checks = {{"site-verify-script", 0.8}},
+             .misconfig_probability = 0.02});
+  return "grid3-vdt";
+}
+
+void add_application_package(PackageCache& cache, const std::string& app_name,
+                             Time install_cost) {
+  cache.add({.name = "app-" + app_name,
+             .version = "1.0",
+             .dependencies = {"grid3-vdt"},
+             .install_cost = install_cost,
+             .provides = {"app:" + app_name},
+             .checks = {{"app-smoke-test", 0.8}},
+             .misconfig_probability = 0.05});
+}
+
+}  // namespace grid3::pacman

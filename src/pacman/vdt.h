@@ -1,0 +1,26 @@
+// The Virtual Data Toolkit bundle as deployed on Grid3 (section 5.1):
+// Globus GSI + GRAM + GridFTP, MDS with Grid3 registration scripts,
+// Ganglia, and the MonALISA agent, all rooted at the "grid3-vdt"
+// meta-package the Pacman cache serves.
+#pragma once
+
+#include <string>
+
+#include "pacman/package.h"
+
+namespace grid3::pacman {
+
+/// The VDT version string Grid3 deployed during SC2003.
+inline constexpr const char* kVdtVersion = "1.1.12";
+
+/// Populate `cache` with the Grid3 VDT package graph.  Returns the name
+/// of the root meta-package ("grid3-vdt").
+std::string load_vdt_bundle(PackageCache& cache);
+
+/// Add a grid-enabled application package (e.g. "app-gce-atlas") that
+/// depends on the VDT root, as the experiments' Pacman-based application
+/// installs did (section 6.1).
+void add_application_package(PackageCache& cache, const std::string& app_name,
+                             Time install_cost);
+
+}  // namespace grid3::pacman

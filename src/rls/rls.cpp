@@ -1,0 +1,131 @@
+#include "rls/rls.h"
+
+#include <algorithm>
+
+namespace grid3::rls {
+
+void LocalReplicaCatalog::add(const std::string& lfn, Replica replica) {
+  auto& replicas = map_[lfn];
+  auto it = std::find_if(replicas.begin(), replicas.end(),
+                         [&](const Replica& r) { return r.pfn == replica.pfn; });
+  if (it != replicas.end()) {
+    *it = std::move(replica);
+  } else {
+    replicas.push_back(std::move(replica));
+  }
+}
+
+bool LocalReplicaCatalog::remove(const std::string& lfn,
+                                 const std::string& pfn) {
+  auto it = map_.find(lfn);
+  if (it == map_.end()) return false;
+  auto& replicas = it->second;
+  const auto before = replicas.size();
+  replicas.erase(std::remove_if(replicas.begin(), replicas.end(),
+                                [&](const Replica& r) { return r.pfn == pfn; }),
+                 replicas.end());
+  const bool removed = replicas.size() != before;
+  if (replicas.empty()) map_.erase(it);
+  return removed;
+}
+
+std::size_t LocalReplicaCatalog::remove_lfn(const std::string& lfn) {
+  auto it = map_.find(lfn);
+  if (it == map_.end()) return 0;
+  const std::size_t n = it->second.size();
+  map_.erase(it);
+  return n;
+}
+
+std::vector<Replica> LocalReplicaCatalog::lookup(const std::string& lfn) const {
+  if (!up_) return {};
+  auto it = map_.find(lfn);
+  return it == map_.end() ? std::vector<Replica>{} : it->second;
+}
+
+bool LocalReplicaCatalog::has(const std::string& lfn) const {
+  return up_ && map_.contains(lfn);
+}
+
+std::size_t LocalReplicaCatalog::replica_count() const {
+  std::size_t n = 0;
+  for (const auto& [lfn, replicas] : map_) n += replicas.size();
+  return n;
+}
+
+std::vector<std::string> LocalReplicaCatalog::lfns() const {
+  std::vector<std::string> out;
+  out.reserve(map_.size());
+  for (const auto& [lfn, replicas] : map_) out.push_back(lfn);
+  return out;
+}
+
+void ReplicaLocationIndex::update_from(const LocalReplicaCatalog& lrc,
+                                       Time now) {
+  // Full-state digest: wipe the site's old contribution, then re-add.
+  for (auto it = index_.begin(); it != index_.end();) {
+    it->second.erase(lrc.site());
+    if (it->second.empty()) {
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const std::string& lfn : lrc.lfns()) {
+    index_[lfn][lrc.site()] = now;
+  }
+}
+
+std::vector<std::string> ReplicaLocationIndex::sites_with(
+    const std::string& lfn, Time now) const {
+  std::vector<std::string> out;
+  auto it = index_.find(lfn);
+  if (it == index_.end()) return out;
+  for (const auto& [site, refreshed] : it->second) {
+    if (now - refreshed <= ttl_) out.push_back(site);
+  }
+  return out;
+}
+
+LocalReplicaCatalog& ReplicaLocationService::lrc_for(const std::string& site) {
+  auto it = lrcs_.find(site);
+  if (it == lrcs_.end()) {
+    it = lrcs_.emplace(site, LocalReplicaCatalog{site}).first;
+  }
+  return it->second;
+}
+
+const LocalReplicaCatalog* ReplicaLocationService::find_lrc(
+    const std::string& site) const {
+  auto it = lrcs_.find(site);
+  return it == lrcs_.end() ? nullptr : &it->second;
+}
+
+void ReplicaLocationService::register_replica(const std::string& site,
+                                              const std::string& lfn,
+                                              Replica replica, Time now) {
+  LocalReplicaCatalog& lrc = lrc_for(site);
+  lrc.add(lfn, std::move(replica));
+  rli_.update_from(lrc, now);
+}
+
+std::vector<std::pair<std::string, Replica>> ReplicaLocationService::locate(
+    const std::string& lfn, Time now) const {
+  std::vector<std::pair<std::string, Replica>> out;
+  for (const std::string& site : rli_.sites_with(lfn, now)) {
+    auto it = lrcs_.find(site);
+    if (it == lrcs_.end()) continue;
+    for (const Replica& r : it->second.lookup(lfn)) {
+      out.emplace_back(site, r);
+    }
+  }
+  return out;
+}
+
+void ReplicaLocationService::refresh_all(Time now) {
+  for (auto& [site, lrc] : lrcs_) {
+    if (lrc.available()) rli_.update_from(lrc, now);
+  }
+}
+
+}  // namespace grid3::rls

@@ -1,0 +1,119 @@
+// Replica Location Service, after the Giggle framework (paper ref [18]).
+//
+// Two tiers: per-site Local Replica Catalogs (LRC) map logical file
+// names to physical locations; Replica Location Indices (RLI) answer
+// "which LRCs know this LFN".  LRCs push soft-state digests to their
+// RLIs on a period, so the index can lag the catalogs -- consumers must
+// tolerate a bounded staleness window, and the tests pin that behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace grid3::rls {
+
+struct Replica {
+  std::string pfn;  ///< physical file name: "gsiftp://<site>/<path>"
+  Bytes size;
+  Time registered;
+};
+
+/// Local Replica Catalog: authoritative per-site LFN -> PFN mappings.
+class LocalReplicaCatalog {
+ public:
+  explicit LocalReplicaCatalog(std::string site) : site_{std::move(site)} {}
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+  void add(const std::string& lfn, Replica replica);
+  bool remove(const std::string& lfn, const std::string& pfn);
+  /// Remove every mapping for an LFN; returns replicas removed.
+  std::size_t remove_lfn(const std::string& lfn);
+
+  [[nodiscard]] std::vector<Replica> lookup(const std::string& lfn) const;
+  [[nodiscard]] bool has(const std::string& lfn) const;
+  [[nodiscard]] std::size_t lfn_count() const { return map_.size(); }
+  [[nodiscard]] std::size_t replica_count() const;
+
+  /// All LFNs (digest payload for RLI soft-state updates).
+  [[nodiscard]] std::vector<std::string> lfns() const;
+
+  void set_available(bool up) { up_ = up; }
+  [[nodiscard]] bool available() const { return up_; }
+
+ private:
+  std::string site_;
+  bool up_ = true;
+  std::map<std::string, std::vector<Replica>> map_;
+};
+
+/// Replica Location Index: LFN -> set of LRC sites, fed by soft-state.
+class ReplicaLocationIndex {
+ public:
+  explicit ReplicaLocationIndex(std::string name) : name_{std::move(name)} {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Accept a full-state digest from one LRC (replaces that site's
+  /// previous contribution).  Entries expire after `ttl` without refresh.
+  void update_from(const LocalReplicaCatalog& lrc, Time now);
+
+  /// Sites whose LRC advertised the LFN at last refresh and whose entry
+  /// has not expired.
+  [[nodiscard]] std::vector<std::string> sites_with(const std::string& lfn,
+                                                    Time now) const;
+
+  [[nodiscard]] Time ttl() const { return ttl_; }
+  void set_ttl(Time ttl) { ttl_ = ttl; }
+
+  [[nodiscard]] std::size_t indexed_lfns() const { return index_.size(); }
+
+ private:
+  std::string name_;
+  Time ttl_ = Time::minutes(30);
+  // lfn -> site -> last refresh time
+  std::map<std::string, std::map<std::string, Time>> index_;
+};
+
+/// Convenience façade binding LRCs and an RLI into one service endpoint,
+/// as the VOs deployed it (one RLS per VO).
+class ReplicaLocationService {
+ public:
+  explicit ReplicaLocationService(std::string vo)
+      : vo_{std::move(vo)}, rli_{vo_ + "-rli"} {}
+
+  [[nodiscard]] const std::string& vo() const { return vo_; }
+
+  LocalReplicaCatalog& lrc_for(const std::string& site);
+  [[nodiscard]] const LocalReplicaCatalog* find_lrc(
+      const std::string& site) const;
+
+  /// Register a replica and immediately refresh that LRC's digest (Grid3
+  /// registration scripts did both in one step).
+  void register_replica(const std::string& site, const std::string& lfn,
+                        Replica replica, Time now);
+
+  /// Query: all replicas of an LFN across sites the RLI knows about.
+  [[nodiscard]] std::vector<std::pair<std::string, Replica>> locate(
+      const std::string& lfn, Time now) const;
+
+  /// Periodic soft-state refresh of every LRC digest.
+  void refresh_all(Time now);
+
+  [[nodiscard]] ReplicaLocationIndex& rli() { return rli_; }
+  [[nodiscard]] const ReplicaLocationIndex& rli() const { return rli_; }
+  [[nodiscard]] std::size_t lrc_count() const { return lrcs_.size(); }
+
+ private:
+  std::string vo_;
+  std::map<std::string, LocalReplicaCatalog> lrcs_;
+  ReplicaLocationIndex rli_;
+};
+
+}  // namespace grid3::rls

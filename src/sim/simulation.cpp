@@ -1,0 +1,95 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace grid3::sim {
+
+EventId Simulation::schedule_at(Time t, EventFn fn) {
+  assert(t >= now_);
+  const EventId id = next_id_++;
+  queue_.push({t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulation::schedule_in(Time delay, EventFn fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: drop on pop.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.t;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(Time t) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.t > t) break;
+    if (!step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Simulation::pending() const {
+  // cancelled_ may contain ids already popped is impossible (erased on
+  // pop), so pending is exact.
+  return queue_.size() - cancelled_.size();
+}
+
+PeriodicProcess::PeriodicProcess(Simulation& sim, Time interval, TickFn tick)
+    : sim_{sim}, interval_{interval}, tick_{std::move(tick)} {
+  assert(interval_ > Time::zero());
+}
+
+PeriodicProcess::~PeriodicProcess() { stop(); }
+
+void PeriodicProcess::start(Time initial_delay) {
+  if (running_) return;
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicProcess::arm(Time delay) {
+  pending_ = sim_.schedule_in(delay, [this] {
+    pending_ = 0;
+    if (!running_) return;
+    ++ticks_;
+    if (tick_()) {
+      arm(interval_);
+    } else {
+      running_ = false;
+    }
+  });
+}
+
+}  // namespace grid3::sim

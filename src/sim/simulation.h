@@ -1,0 +1,103 @@
+// Discrete-event simulation kernel.
+//
+// Events are (time, sequence) ordered: two events at the same instant fire
+// in scheduling order, which makes every run with a fixed RNG seed fully
+// deterministic.  All Grid3Sim services (gatekeepers, schedulers, GridFTP
+// servers, monitoring agents) are callbacks driven by this kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace grid3::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now).  Returns a handle usable
+  /// with cancel().
+  EventId schedule_at(Time t, EventFn fn);
+
+  /// Schedule `fn` after `delay` from now.
+  EventId schedule_in(Time delay, EventFn fn);
+
+  /// Cancel a pending event.  Safe to call on already-fired or unknown ids
+  /// (no-op, returns false).
+  bool cancel(EventId id);
+
+  /// Execute a single event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or the clock would pass `t`; the clock is
+  /// left at exactly `t` (events at `t` included).
+  void run_until(Time t);
+
+  /// Run until the queue drains.
+  void run();
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time t;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// A self-rescheduling periodic callback (monitoring sweeps, exerciser
+/// probes, nightly rollovers).  Stops when stop() is called or when the
+/// callback returns false.
+class PeriodicProcess {
+ public:
+  using TickFn = std::function<bool()>;
+
+  PeriodicProcess(Simulation& sim, Time interval, TickFn tick);
+  ~PeriodicProcess();
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Begin ticking; first tick after `initial_delay`.
+  void start(Time initial_delay = Time::zero());
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void arm(Time delay);
+
+  Simulation& sim_;
+  Time interval_;
+  TickFn tick_;
+  EventId pending_ = 0;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace grid3::sim

@@ -1,0 +1,136 @@
+#include "srm/dcache.h"
+
+#include <algorithm>
+
+namespace grid3::srm {
+
+std::size_t DcachePoolManager::add_pool(const std::string& pool_name,
+                                        Bytes capacity) {
+  pools_.push_back({pool_name,
+                    std::make_unique<DiskVolume>(name_ + "/" + pool_name,
+                                                 capacity),
+                    true});
+  return pools_.size() - 1;
+}
+
+std::optional<std::size_t> DcachePoolManager::best_pool(
+    Bytes size, const std::vector<std::size_t>& exclude) const {
+  std::optional<std::size_t> best;
+  Bytes best_free;
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (!pools_[i].enabled) continue;
+    if (std::find(exclude.begin(), exclude.end(), i) != exclude.end()) {
+      continue;
+    }
+    const Bytes free = pools_[i].volume->free();
+    if (free < size) continue;
+    if (!best.has_value() || free > best_free) {
+      best = i;
+      best_free = free;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> DcachePoolManager::write(
+    const std::string& pnfsid, Bytes size) {
+  if (files_.contains(pnfsid)) return std::nullopt;  // immutable store
+  const auto pool = best_pool(size, {});
+  if (!pool.has_value()) return std::nullopt;
+  if (!pools_[*pool].volume->allocate(size)) return std::nullopt;
+  files_.emplace(pnfsid, Entry{size, {*pool}, 0});
+  return pool;
+}
+
+std::optional<std::size_t> DcachePoolManager::read(
+    const std::string& pnfsid) {
+  auto it = files_.find(pnfsid);
+  if (it == files_.end()) return std::nullopt;
+  ++it->second.reads;
+  // Serve from the replica on the pool with the most free space (a crude
+  // least-loaded proxy, matching dCache's cost module in spirit).
+  std::size_t chosen = it->second.pools.front();
+  for (std::size_t p : it->second.pools) {
+    if (pools_[p].volume->free() > pools_[chosen].volume->free()) {
+      chosen = p;
+    }
+  }
+  return chosen;
+}
+
+std::size_t DcachePoolManager::replicate_hot(std::uint64_t threshold) {
+  std::size_t made = 0;
+  for (auto& [pnfsid, entry] : files_) {
+    if (entry.reads < threshold) continue;
+    const auto target = best_pool(entry.size, entry.pools);
+    if (!target.has_value()) continue;
+    if (!pools_[*target].volume->allocate(entry.size)) continue;
+    entry.pools.push_back(*target);
+    entry.reads = 0;
+    ++made;
+  }
+  return made;
+}
+
+bool DcachePoolManager::remove(const std::string& pnfsid) {
+  auto it = files_.find(pnfsid);
+  if (it == files_.end()) return false;
+  for (std::size_t p : it->second.pools) {
+    pools_[p].volume->release(it->second.size);
+  }
+  files_.erase(it);
+  return true;
+}
+
+std::size_t DcachePoolManager::drain_pool(std::size_t index) {
+  if (index >= pools_.size()) return 0;
+  pools_[index].enabled = false;
+  std::size_t migrated = 0;
+  for (auto& [pnfsid, entry] : files_) {
+    auto pos = std::find(entry.pools.begin(), entry.pools.end(), index);
+    if (pos == entry.pools.end()) continue;
+    if (entry.pools.size() > 1) {
+      // Another replica exists: just drop this one.
+      pools_[index].volume->release(entry.size);
+      entry.pools.erase(pos);
+      ++migrated;
+      continue;
+    }
+    const auto target = best_pool(entry.size, {index});
+    if (!target.has_value()) continue;  // nowhere to go; file stays
+    if (!pools_[*target].volume->allocate(entry.size)) continue;
+    pools_[index].volume->release(entry.size);
+    *pos = *target;
+    ++migrated;
+  }
+  return migrated;
+}
+
+void DcachePoolManager::enable_pool(std::size_t index) {
+  if (index < pools_.size()) pools_[index].enabled = true;
+}
+
+bool DcachePoolManager::has(const std::string& pnfsid) const {
+  return files_.contains(pnfsid);
+}
+
+std::size_t DcachePoolManager::replica_count(
+    const std::string& pnfsid) const {
+  auto it = files_.find(pnfsid);
+  return it == files_.end() ? 0 : it->second.pools.size();
+}
+
+Bytes DcachePoolManager::total_free() const {
+  Bytes total;
+  for (const Pool& p : pools_) {
+    if (p.enabled) total += p.volume->free();
+  }
+  return total;
+}
+
+std::uint64_t DcachePoolManager::reads_of(const std::string& pnfsid) const {
+  auto it = files_.find(pnfsid);
+  return it == files_.end() ? 0 : it->second.reads;
+}
+
+}  // namespace grid3::srm

@@ -1,0 +1,83 @@
+// dCache-style disk pool manager (paper section 2: "Additional services
+// such as ... dCache can be provided by individual VOs if desired").
+//
+// A storage element head node in front of multiple disk pools: writes
+// are placed by a cost function (most free space wins), reads are served
+// from any pool holding the file, hot files are replicated onto
+// additional pools so read load spreads, and pools can be drained for
+// maintenance with their files migrated away.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "srm/disk.h"
+#include "util/units.h"
+
+namespace grid3::srm {
+
+class DcachePoolManager {
+ public:
+  explicit DcachePoolManager(std::string name) : name_{std::move(name)} {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Add a pool; returns its index.
+  std::size_t add_pool(const std::string& pool_name, Bytes capacity);
+  [[nodiscard]] std::size_t pool_count() const { return pools_.size(); }
+  [[nodiscard]] const DiskVolume& pool(std::size_t i) const {
+    return *pools_[i].volume;
+  }
+
+  /// Write placement: the enabled pool with the most free space that fits
+  /// the file.  Returns the pool index, or nullopt when nothing fits.
+  std::optional<std::size_t> write(const std::string& pnfsid, Bytes size);
+
+  /// Read: records a hit on the least-loaded replica's pool; nullopt when
+  /// the file is unknown.  `reads` drive the hot-file replication below.
+  std::optional<std::size_t> read(const std::string& pnfsid);
+
+  /// Replicate files read more than `threshold` times since their last
+  /// replication onto one additional pool each (p2p copy).  Returns the
+  /// number of new replicas made.
+  std::size_t replicate_hot(std::uint64_t threshold);
+
+  /// Remove a file entirely (all replicas).
+  bool remove(const std::string& pnfsid);
+
+  /// Drain a pool: stop placing new files there and migrate its files to
+  /// other pools.  Files that fit nowhere else stay (drain is best
+  /// effort, as in dCache).  Returns files migrated.
+  std::size_t drain_pool(std::size_t index);
+  void enable_pool(std::size_t index);
+
+  [[nodiscard]] bool has(const std::string& pnfsid) const;
+  [[nodiscard]] std::size_t replica_count(const std::string& pnfsid) const;
+  [[nodiscard]] Bytes total_free() const;
+  [[nodiscard]] std::uint64_t reads_of(const std::string& pnfsid) const;
+
+ private:
+  struct Pool {
+    std::string name;
+    std::unique_ptr<DiskVolume> volume;
+    bool enabled = true;
+  };
+  struct Entry {
+    Bytes size;
+    std::vector<std::size_t> pools;  ///< replica locations
+    std::uint64_t reads = 0;         ///< since last replication
+  };
+
+  [[nodiscard]] std::optional<std::size_t> best_pool(
+      Bytes size, const std::vector<std::size_t>& exclude) const;
+
+  std::string name_;
+  std::vector<Pool> pools_;
+  std::map<std::string, Entry> files_;
+};
+
+}  // namespace grid3::srm

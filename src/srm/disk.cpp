@@ -1,0 +1,25 @@
+#include "srm/disk.h"
+
+#include <algorithm>
+
+namespace grid3::srm {
+
+bool DiskVolume::allocate(Bytes size) {
+  if (size > free()) {
+    ++failures_;
+    return false;
+  }
+  used_ += size;
+  ++allocations_;
+  return true;
+}
+
+void DiskVolume::release(Bytes size) {
+  used_ = std::max(Bytes::zero(), used_ - size);
+}
+
+void DiskVolume::consume_unmanaged(Bytes size) {
+  used_ = std::min(capacity_, used_ + size);
+}
+
+}  // namespace grid3::srm

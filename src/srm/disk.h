@@ -1,0 +1,56 @@
+// Site disk volumes.
+//
+// "more frequently a disk would fill up ... and all jobs submitted to a
+// site would die" (section 6.2).  Disk exhaustion is the single biggest
+// site-problem failure class in the paper, so space accounting is
+// explicit: every stage-in, working directory, and output allocation
+// draws from a finite volume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace grid3::srm {
+
+class DiskVolume {
+ public:
+  DiskVolume(std::string name, Bytes capacity)
+      : name_{std::move(name)}, capacity_{capacity} {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes free() const { return capacity_ - used_; }
+  [[nodiscard]] double fill_fraction() const {
+    return capacity_.count() > 0
+               ? static_cast<double>(used_.count()) /
+                     static_cast<double>(capacity_.count())
+               : 1.0;
+  }
+
+  /// Try to allocate; returns false (no change) when space is short.
+  [[nodiscard]] bool allocate(Bytes size);
+  /// Release previously allocated space (clamped at zero).
+  void release(Bytes size);
+
+  /// Fill the volume with unmanaged data (failure injection: a local user
+  /// or runaway log eats the disk).
+  void consume_unmanaged(Bytes size);
+  /// Free unmanaged data (admin cleanup).
+  void cleanup(Bytes size) { release(size); }
+
+  /// Lifetime allocation counters for accounting.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+
+ private:
+  std::string name_;
+  Bytes capacity_;
+  Bytes used_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace grid3::srm

@@ -1,0 +1,47 @@
+// Calendar mapping for the Grid2003 operations timeline.
+//
+// The scenario epoch is 2003-10-01 00:00 (the month Grid3 construction
+// started; SC2003 ran Nov 15-21 and Table 1 covers Oct 23 2003 - Apr 23
+// 2004).  These helpers convert simulated Time offsets into the month
+// labels the paper's Table 1 and Figure 6 use ("11-2003" etc.).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace grid3::util {
+
+struct CalendarDate {
+  int year = 2003;
+  int month = 10;  // 1-12
+  int day = 1;     // 1-31
+};
+
+/// Scenario epoch: 2003-10-01 00:00:00.
+[[nodiscard]] CalendarDate epoch();
+
+/// Convert a simulated time offset into a calendar date.
+[[nodiscard]] CalendarDate date_at(Time t);
+
+/// Offset of a calendar date from the epoch.
+[[nodiscard]] Time time_of(const CalendarDate& d);
+
+/// "MM-YYYY", the format Table 1 uses for peak production months.
+[[nodiscard]] std::string month_label(const CalendarDate& d);
+[[nodiscard]] std::string month_label_at(Time t);
+
+/// Zero-based month index since the epoch (Oct 2003 = 0, Nov 2003 = 1 ...).
+[[nodiscard]] int month_index_at(Time t);
+
+/// First instant of the month with the given zero-based index.
+[[nodiscard]] Time month_start(int month_index);
+
+/// Labels for the first `n` months of the scenario.
+[[nodiscard]] std::vector<std::string> month_labels(int n);
+
+/// Days in a given month (handles the 2004 leap year).
+[[nodiscard]] int days_in_month(int year, int month);
+
+}  // namespace grid3::util

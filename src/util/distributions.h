@@ -1,0 +1,56 @@
+// Composable runtime distributions used to describe workload parameters
+// (job runtimes, dataset sizes, inter-arrival gaps) in configuration.
+//
+// A Distribution is a small value type: cheap to copy, samples through an
+// Rng passed at call time so the distribution itself carries no state.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace grid3::util {
+
+/// A sampleable non-negative real-valued distribution.
+class Distribution {
+ public:
+  /// Constant value.
+  [[nodiscard]] static Distribution constant(double v);
+  /// Uniform on [lo, hi).
+  [[nodiscard]] static Distribution uniform(double lo, double hi);
+  /// Exponential with the given mean.
+  [[nodiscard]] static Distribution exponential(double mean);
+  /// Lognormal specified by its *mean* and coefficient of variation
+  /// (cv = sigma/mean of the resulting lognormal, not of the log).
+  [[nodiscard]] static Distribution lognormal_mean_cv(double mean, double cv);
+  /// Weibull with shape k and scale lambda.
+  [[nodiscard]] static Distribution weibull(double shape, double scale);
+  /// Pareto with minimum xm and tail index alpha.
+  [[nodiscard]] static Distribution pareto(double xm, double alpha);
+  /// Normal truncated below at `floor` (resampled, so use moderate tails).
+  [[nodiscard]] static Distribution truncated_normal(double mean, double sigma,
+                                                     double floor);
+  /// Mixture of components with the given non-negative weights.
+  [[nodiscard]] static Distribution mixture(std::vector<Distribution> comps,
+                                            std::vector<double> weights);
+  /// `base` clamped into [lo, hi].
+  [[nodiscard]] static Distribution clamped(Distribution base, double lo,
+                                            double hi);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Analytic mean where known; mixture/clamp compute from components
+  /// (clamp returns the un-clamped mean as an approximation).
+  [[nodiscard]] double mean() const;
+
+  struct Impl;  // public so the implementation file can define it
+
+ private:
+  explicit Distribution(std::shared_ptr<const Impl> impl)
+      : impl_{std::move(impl)} {}
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace grid3::util

@@ -1,0 +1,29 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace grid3::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (level < level_ || level_ == LogLevel::kOff) return;
+  std::scoped_lock lock{mu_};
+  if (level >= LogLevel::kWarn) ++warnings_;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kTrace: tag = "TRACE"; break;
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::clog << "[" << tag << "] " << component << ": " << message << "\n";
+}
+
+}  // namespace grid3::util

@@ -1,0 +1,68 @@
+// Minimal leveled logger.  The simulator is deterministic and single-
+// threaded per run, so the logger favors simplicity; a mutex still guards
+// emission because benches may run scenario replicas on worker threads.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace grid3::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+  /// Number of messages emitted at >= warn (used by tests asserting quiet
+  /// operation).
+  [[nodiscard]] std::size_t warnings() const { return warnings_; }
+  void reset_counters() { warnings_ = 0; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::size_t warnings_ = 0;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_{level}, component_{std::move(component)} {}
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_info(std::string component) {
+  return {LogLevel::kInfo, std::move(component)};
+}
+[[nodiscard]] inline detail::LogLine log_warn(std::string component) {
+  return {LogLevel::kWarn, std::move(component)};
+}
+[[nodiscard]] inline detail::LogLine log_debug(std::string component) {
+  return {LogLevel::kDebug, std::move(component)};
+}
+
+}  // namespace grid3::util

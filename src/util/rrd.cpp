@@ -1,0 +1,108 @@
+#include "util/rrd.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grid3::util {
+
+RoundRobinArchive::RoundRobinArchive(std::vector<RraLevel> levels,
+                                     Consolidation how)
+    : how_{how} {
+  assert(!levels.empty());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    assert(levels[i].step > Time::zero() && levels[i].slots > 0);
+    if (i > 0) {
+      assert(levels[i].step.ticks() % levels[i - 1].step.ticks() == 0 &&
+             levels[i].step > levels[i - 1].step);
+    }
+    levels_.push_back({levels[i], std::vector<Slot>(levels[i].slots)});
+  }
+}
+
+double RoundRobinArchive::consolidate(double acc, double next,
+                                      double acc_count) const {
+  switch (how_) {
+    case Consolidation::kAverage:
+      return (acc * acc_count + next) / (acc_count + 1.0);
+    case Consolidation::kMax:
+      return std::max(acc, next);
+    case Consolidation::kLast:
+      return next;
+    case Consolidation::kSum:
+      return acc + next;
+  }
+  return next;
+}
+
+void RoundRobinArchive::push_to_level(std::size_t li, std::int64_t slot_index,
+                                      double value, double count) {
+  Level& lvl = levels_[li];
+  const std::size_t ring_pos =
+      static_cast<std::size_t>(slot_index) % lvl.ring.size();
+  Slot& slot = lvl.ring[ring_pos];
+
+  if (slot.index == slot_index) {
+    slot.value = consolidate(slot.value, value, slot.count);
+    slot.count += count;
+    return;
+  }
+
+  // We are about to overwrite an older slot: first propagate it upward so
+  // the coarser level retains a consolidated view.
+  if (slot.index >= 0 && li + 1 < levels_.size()) {
+    const std::int64_t ratio =
+        levels_[li + 1].cfg.step.ticks() / lvl.cfg.step.ticks();
+    push_to_level(li + 1, slot.index / ratio, slot.value, slot.count);
+  }
+  slot.index = slot_index;
+  slot.value = value;
+  slot.count = count;
+}
+
+void RoundRobinArchive::update(Time t, double value) {
+  ++samples_;
+  const std::int64_t slot = t.ticks() / levels_.front().cfg.step.ticks();
+  if (slot == pending_slot_) {
+    pending_value_ = consolidate(pending_value_, value, pending_count_);
+    pending_count_ += 1.0;
+    return;
+  }
+  if (pending_slot_ >= 0) {
+    push_to_level(0, pending_slot_, pending_value_, pending_count_);
+  }
+  pending_slot_ = slot;
+  pending_value_ = value;
+  pending_count_ = 1.0;
+}
+
+std::optional<double> RoundRobinArchive::read(Time t) const {
+  const std::int64_t fine_slot = t.ticks() / levels_.front().cfg.step.ticks();
+  if (fine_slot == pending_slot_) return pending_value_;
+  for (const Level& lvl : levels_) {
+    const std::int64_t slot_index = t.ticks() / lvl.cfg.step.ticks();
+    const Slot& slot =
+        lvl.ring[static_cast<std::size_t>(slot_index) % lvl.ring.size()];
+    if (slot.index == slot_index) return slot.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<TimePoint> RoundRobinArchive::level_contents(
+    std::size_t level) const {
+  assert(level < levels_.size());
+  const Level& lvl = levels_[level];
+  std::vector<TimePoint> out;
+  std::vector<const Slot*> filled;
+  for (const Slot& s : lvl.ring) {
+    if (s.index >= 0) filled.push_back(&s);
+  }
+  std::sort(filled.begin(), filled.end(),
+            [](const Slot* a, const Slot* b) { return a->index < b->index; });
+  out.reserve(filled.size());
+  for (const Slot* s : filled) {
+    out.push_back({Time::micros(s->index * lvl.cfg.step.ticks()), s->value});
+  }
+  return out;
+}
+
+}  // namespace grid3::util

@@ -1,0 +1,75 @@
+// Round-robin archive, modeled on the "round robin-like database" the
+// MonALISA central repository used at the iGOC (paper section 5.2).
+//
+// A fixed number of slots per resolution level; as primary slots fill they
+// are consolidated (averaged or maxed) into the next coarser level, so
+// storage stays bounded no matter how long the grid runs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/timeseries.h"
+#include "util/units.h"
+
+namespace grid3::util {
+
+enum class Consolidation { kAverage, kMax, kLast, kSum };
+
+/// One resolution level of the archive.
+struct RraLevel {
+  Time step;          ///< width of one slot
+  std::size_t slots;  ///< how many slots this level retains
+};
+
+class RoundRobinArchive {
+ public:
+  /// Levels must be ordered fine -> coarse; each coarser step should be an
+  /// integer multiple of the previous one (enforced).
+  RoundRobinArchive(std::vector<RraLevel> levels, Consolidation how);
+
+  /// Record a sample; samples must arrive in non-decreasing time order.
+  /// Samples within one primary slot are consolidated with the configured
+  /// function.
+  void update(Time t, double value);
+
+  /// Read the consolidated value covering time t from the finest level
+  /// still retaining it.  nullopt when t predates all retained data or no
+  /// sample ever covered it.
+  [[nodiscard]] std::optional<double> read(Time t) const;
+
+  /// All retained (slot_start, value) pairs of a level, oldest first.
+  [[nodiscard]] std::vector<TimePoint> level_contents(std::size_t level) const;
+
+  [[nodiscard]] std::size_t levels() const { return levels_.size(); }
+  [[nodiscard]] const RraLevel& level(std::size_t i) const { return levels_[i].cfg; }
+
+  /// Total number of samples ever pushed.
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+ private:
+  struct Slot {
+    std::int64_t index = -1;  // slot number since epoch; -1 = empty
+    double value = 0.0;
+    double count = 0.0;  // for averaging
+  };
+  struct Level {
+    RraLevel cfg;
+    std::vector<Slot> ring;
+  };
+
+  void push_to_level(std::size_t li, std::int64_t slot_index, double value,
+                     double count);
+  [[nodiscard]] double consolidate(double acc, double next, double acc_count) const;
+
+  std::vector<Level> levels_;
+  Consolidation how_;
+  std::size_t samples_ = 0;
+  // Pending accumulation for the finest level's current slot.
+  std::int64_t pending_slot_ = -1;
+  double pending_value_ = 0.0;
+  double pending_count_ = 0.0;
+};
+
+}  // namespace grid3::util

@@ -1,0 +1,105 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace grid3::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {}
+
+AsciiTable& AsciiTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string AsciiTable::integer(std::int64_t v) { return std::to_string(v); }
+
+std::string AsciiTable::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void AsciiTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto line = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << "+" << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " ";
+    }
+    os << "|\n";
+  };
+  line();
+  emit(headers_);
+  line();
+  for (const auto& row : rows_) emit(row);
+  line();
+  return os.str();
+}
+
+std::string AsciiTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      const bool quote = cells[c].find(',') != std::string::npos;
+      if (quote) os << '"';
+      os << cells[c];
+      if (quote) os << '"';
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string bar_chart(
+    const std::vector<std::pair<std::string, double>>& series,
+    std::size_t width, const std::string& unit) {
+  double peak = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : series) {
+    peak = std::max(peak, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, v] : series) {
+    const auto bar = peak > 0
+                         ? static_cast<std::size_t>(v / peak *
+                                                    static_cast<double>(width))
+                         : 0;
+    os << std::left << std::setw(static_cast<int>(label_w)) << label << " | "
+       << std::string(bar, '#') << " " << AsciiTable::num(v, 2);
+    if (!unit.empty()) os << " " << unit;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace grid3::util

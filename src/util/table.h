@@ -1,0 +1,43 @@
+// ASCII table and CSV rendering for bench harness output: the benches
+// print the same rows the paper's tables/figures report.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace grid3::util {
+
+/// Column-aligned text table.  All cells are strings; numeric helpers
+/// format with fixed precision.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  AsciiTable& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals (trailing zeros kept so
+  /// columns line up).
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string integer(std::int64_t v);
+  [[nodiscard]] static std::string percent(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a labeled series as "label: value" lines with an ASCII bar,
+/// used for the figure-style outputs (Figures 2-6).
+[[nodiscard]] std::string bar_chart(
+    const std::vector<std::pair<std::string, double>>& series,
+    std::size_t width = 48, const std::string& unit = "");
+
+}  // namespace grid3::util

@@ -1,0 +1,76 @@
+// Append-only (time, value) series plus the analyses the paper's figures
+// need: integration (CPU-days), time-averages (differential CPU usage),
+// binning by interval, and cumulative views.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace grid3::util {
+
+struct TimePoint {
+  Time t;
+  double value = 0.0;
+};
+
+/// A step-function time series: value(t) holds from each sample until the
+/// next.  Samples must be appended in non-decreasing time order.
+class TimeSeries {
+ public:
+  void append(Time t, double value);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<TimePoint>& points() const { return points_; }
+
+  /// Step-function value at time t (0 before the first sample).
+  [[nodiscard]] double at(Time t) const;
+
+  /// Integral of the step function over [from, to], in value * seconds.
+  [[nodiscard]] double integrate(Time from, Time to) const;
+
+  /// Time-weighted average over [from, to].
+  [[nodiscard]] double time_average(Time from, Time to) const;
+
+  /// Maximum sampled value within [from, to] (considering the step value
+  /// entering the window too).
+  [[nodiscard]] double max_over(Time from, Time to) const;
+
+  /// Resample into `bins` equal windows of [from, to], each bin holding the
+  /// time-weighted average (the paper notes binned averages under-report
+  /// peaks -- we reproduce that artifact deliberately).
+  [[nodiscard]] std::vector<double> binned_average(Time from, Time to,
+                                                   std::size_t bins) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+/// A counter series for discrete events (jobs completed, bytes moved):
+/// each event adds a weight at a timestamp; queries aggregate by window.
+class EventSeries {
+ public:
+  void record(Time t, double weight = 1.0);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<TimePoint>& events() const { return events_; }
+
+  /// Total weight in [from, to).
+  [[nodiscard]] double total(Time from, Time to) const;
+  [[nodiscard]] double total() const;
+
+  /// Weight per equal-width bin over [from, to).
+  [[nodiscard]] std::vector<double> binned(Time from, Time to,
+                                           std::size_t bins) const;
+
+  /// Cumulative weight sampled at each bin edge (for "integrated" plots).
+  [[nodiscard]] std::vector<double> cumulative(Time from, Time to,
+                                               std::size_t bins) const;
+
+ private:
+  std::vector<TimePoint> events_;  // kept sorted by construction
+};
+
+}  // namespace grid3::util

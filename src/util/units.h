@@ -1,0 +1,128 @@
+// Strong time and size units shared by every Grid3Sim subsystem.
+//
+// Simulated time is an integer count of microseconds since the scenario
+// epoch.  Integer ticks keep the event queue deterministic: two runs with
+// the same seed produce bit-identical schedules, which the reproduction
+// harness relies on.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace grid3 {
+
+/// A point in simulated time (microseconds since scenario epoch) or a
+/// duration.  Arithmetic is closed; use the named constructors for clarity.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time micros(std::int64_t us) { return Time{us}; }
+  [[nodiscard]] static constexpr Time millis(double ms) { return Time{static_cast<std::int64_t>(ms * 1e3)}; }
+  [[nodiscard]] static constexpr Time seconds(double s) { return Time{static_cast<std::int64_t>(s * 1e6)}; }
+  [[nodiscard]] static constexpr Time minutes(double m) { return seconds(m * 60.0); }
+  [[nodiscard]] static constexpr Time hours(double h) { return seconds(h * 3600.0); }
+  [[nodiscard]] static constexpr Time days(double d) { return seconds(d * 86400.0); }
+  [[nodiscard]] static constexpr Time max() { return Time{std::numeric_limits<std::int64_t>::max()}; }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double to_minutes() const { return to_seconds() / 60.0; }
+  [[nodiscard]] constexpr double to_hours() const { return to_seconds() / 3600.0; }
+  [[nodiscard]] constexpr double to_days() const { return to_seconds() / 86400.0; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) { us_ += rhs.us_; return *this; }
+  constexpr Time& operator-=(Time rhs) { us_ -= rhs.us_; return *this; }
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) { return Time{a.us_ + b.us_}; }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) { return Time{a.us_ - b.us_}; }
+  [[nodiscard]] friend constexpr Time operator*(Time a, double k) {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.us_) * k)};
+  }
+  [[nodiscard]] friend constexpr Time operator*(double k, Time a) { return a * k; }
+  [[nodiscard]] friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// Data sizes in bytes with named constructors for the scales the paper
+/// uses (datasets of GB, daily transfer volumes of TB).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+
+  [[nodiscard]] static constexpr Bytes of(std::int64_t b) { return Bytes{b}; }
+  [[nodiscard]] static constexpr Bytes kb(double v) { return Bytes{static_cast<std::int64_t>(v * 1e3)}; }
+  [[nodiscard]] static constexpr Bytes mb(double v) { return Bytes{static_cast<std::int64_t>(v * 1e6)}; }
+  [[nodiscard]] static constexpr Bytes gb(double v) { return Bytes{static_cast<std::int64_t>(v * 1e9)}; }
+  [[nodiscard]] static constexpr Bytes tb(double v) { return Bytes{static_cast<std::int64_t>(v * 1e12)}; }
+  [[nodiscard]] static constexpr Bytes zero() { return Bytes{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return b_; }
+  [[nodiscard]] constexpr double to_mb() const { return static_cast<double>(b_) / 1e6; }
+  [[nodiscard]] constexpr double to_gb() const { return static_cast<double>(b_) / 1e9; }
+  [[nodiscard]] constexpr double to_tb() const { return static_cast<double>(b_) / 1e12; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes rhs) { b_ += rhs.b_; return *this; }
+  constexpr Bytes& operator-=(Bytes rhs) { b_ -= rhs.b_; return *this; }
+  [[nodiscard]] friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.b_ + b.b_}; }
+  [[nodiscard]] friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes{a.b_ - b.b_}; }
+  [[nodiscard]] friend constexpr Bytes operator*(Bytes a, double k) {
+    return Bytes{static_cast<std::int64_t>(static_cast<double>(a.b_) * k)};
+  }
+  [[nodiscard]] friend constexpr double operator/(Bytes a, Bytes b) {
+    return static_cast<double>(a.b_) / static_cast<double>(b.b_);
+  }
+
+ private:
+  constexpr explicit Bytes(std::int64_t b) : b_{b} {}
+  std::int64_t b_ = 0;
+};
+
+/// Bandwidth in bytes per second of simulated time.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bytes_per_sec(double v) { return Bandwidth{v}; }
+  [[nodiscard]] static constexpr Bandwidth mbps(double megabits) { return Bandwidth{megabits * 1e6 / 8.0}; }
+  [[nodiscard]] static constexpr Bandwidth gbps(double gigabits) { return Bandwidth{gigabits * 1e9 / 8.0}; }
+
+  [[nodiscard]] constexpr double bps() const { return bytes_per_sec_; }
+  [[nodiscard]] constexpr double to_mbps() const { return bytes_per_sec_ * 8.0 / 1e6; }
+
+  /// Time to move `size` at this rate (unbounded if rate is zero).
+  [[nodiscard]] constexpr Time transfer_time(Bytes size) const {
+    if (bytes_per_sec_ <= 0.0) return Time::max();
+    return Time::seconds(static_cast<double>(size.count()) / bytes_per_sec_);
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+  [[nodiscard]] friend constexpr Bandwidth operator*(Bandwidth a, double k) {
+    return Bandwidth{a.bytes_per_sec_ * k};
+  }
+  [[nodiscard]] friend constexpr Bandwidth operator/(Bandwidth a, double k) {
+    return Bandwidth{a.bytes_per_sec_ / k};
+  }
+
+ private:
+  constexpr explicit Bandwidth(double v) : bytes_per_sec_{v} {}
+  double bytes_per_sec_ = 0.0;
+};
+
+/// CPU consumption expressed in CPU-days, the unit used throughout the
+/// paper's figures and Table 1.
+[[nodiscard]] constexpr double cpu_days(Time busy) { return busy.to_days(); }
+
+}  // namespace grid3

@@ -1,0 +1,55 @@
+#include "vo/gridmap.h"
+
+#include <algorithm>
+
+namespace grid3::vo {
+
+void GridMapFile::support_vo(const std::string& vo, GroupAccount account) {
+  policy_[vo] = std::move(account);
+}
+
+bool GridMapFile::supports_vo(const std::string& vo) const {
+  return policy_.contains(vo);
+}
+
+std::vector<std::string> GridMapFile::supported_vos() const {
+  std::vector<std::string> out;
+  out.reserve(policy_.size());
+  for (const auto& [vo, account] : policy_) out.push_back(vo);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t GridMapFile::regenerate(
+    const std::vector<const VomsServer*>& servers, Time now) {
+  std::unordered_map<std::string, GroupAccount> fresh;
+  std::vector<std::string> refreshed_vos;
+  for (const VomsServer* server : servers) {
+    if (server == nullptr) continue;
+    auto pol = policy_.find(server->vo());
+    if (pol == policy_.end()) continue;  // site does not support this VO
+    if (!server->available()) continue;  // keep previous entries
+    refreshed_vos.push_back(server->vo());
+    for (const Member& m : server->members()) {
+      fresh[m.dn] = pol->second;
+    }
+  }
+  // Carry forward entries for VOs whose server did not answer.
+  for (const auto& [dn, account] : map_) {
+    const bool vo_refreshed =
+        std::find(refreshed_vos.begin(), refreshed_vos.end(), account.vo) !=
+        refreshed_vos.end();
+    if (!vo_refreshed) fresh.emplace(dn, account);
+  }
+  map_ = std::move(fresh);
+  last_regen_ = now;
+  return map_.size();
+}
+
+std::optional<GroupAccount> GridMapFile::map(const std::string& dn) const {
+  auto it = map_.find(dn);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace grid3::vo

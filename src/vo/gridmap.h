@@ -1,0 +1,56 @@
+// Site-local authorization: grid-map files and VO group accounts.
+//
+// Grid3 generated local grid-map files by calling the EDG script against
+// each VO's VOMS server (paper section 5.3).  The map is a *snapshot*:
+// users added to a VO after the last regeneration are rejected by the
+// gatekeeper until the site refreshes -- a real operational failure mode
+// this module reproduces.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+#include "vo/voms.h"
+
+namespace grid3::vo {
+
+/// Unix group account convention: one shared account per VO per site
+/// (e.g. "usatlas1", "uscms1").
+struct GroupAccount {
+  std::string unix_name;
+  std::string vo;
+};
+
+/// A site's grid-map file plus the VO -> group-account policy used to
+/// regenerate it.
+class GridMapFile {
+ public:
+  /// Declare which VOs the site supports and the account each maps to.
+  void support_vo(const std::string& vo, GroupAccount account);
+  [[nodiscard]] bool supports_vo(const std::string& vo) const;
+  [[nodiscard]] std::vector<std::string> supported_vos() const;
+
+  /// Regenerate from the given VOMS servers (edg-mkgridmap).  Servers for
+  /// unsupported VOs are ignored; unavailable servers leave that VO's
+  /// previous entries intact (stale but functional -- matching the real
+  /// script's behaviour of keeping the old file on failure).
+  /// Returns the number of DN entries in the new map.
+  std::size_t regenerate(const std::vector<const VomsServer*>& servers,
+                         Time now);
+
+  /// Gatekeeper lookup: DN -> local account.
+  [[nodiscard]] std::optional<GroupAccount> map(const std::string& dn) const;
+
+  [[nodiscard]] std::size_t entries() const { return map_.size(); }
+  [[nodiscard]] Time last_regenerated() const { return last_regen_; }
+
+ private:
+  std::unordered_map<std::string, GroupAccount> policy_;  // vo -> account
+  std::unordered_map<std::string, GroupAccount> map_;     // dn -> account
+  Time last_regen_;
+};
+
+}  // namespace grid3::vo

@@ -1,0 +1,94 @@
+#include "workflow/dag.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace grid3::workflow {
+namespace {
+
+template <typename Edges>
+std::vector<std::size_t> roots_of(std::size_t n, const Edges& edges) {
+  std::vector<bool> has_parent(n, false);
+  for (const auto& [p, c] : edges) has_parent[c] = true;
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!has_parent[i]) out.push_back(i);
+  }
+  return out;
+}
+
+template <typename Edges>
+std::vector<std::size_t> parents_of(std::size_t j, const Edges& edges) {
+  std::vector<std::size_t> out;
+  for (const auto& [p, c] : edges) {
+    if (c == j) out.push_back(p);
+  }
+  return out;
+}
+
+template <typename Edges>
+bool acyclic_check(std::size_t n, const Edges& edges) {
+  std::vector<std::size_t> indegree(n, 0);
+  for (const auto& [p, c] : edges) {
+    if (p >= n || c >= n) return false;
+    ++indegree[c];
+  }
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const std::size_t j = ready.front();
+    ready.pop();
+    ++seen;
+    for (const auto& [p, c] : edges) {
+      if (p == j && --indegree[c] == 0) ready.push(c);
+    }
+  }
+  return seen == n;
+}
+
+}  // namespace
+
+const char* to_string(NodeType t) {
+  switch (t) {
+    case NodeType::kCompute: return "compute";
+    case NodeType::kStageIn: return "stage-in";
+    case NodeType::kStageOut: return "stage-out";
+    case NodeType::kRegister: return "register";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> AbstractDag::roots() const {
+  return roots_of(jobs.size(), edges);
+}
+std::vector<std::size_t> AbstractDag::parents(std::size_t j) const {
+  return parents_of(j, edges);
+}
+bool AbstractDag::acyclic() const { return acyclic_check(jobs.size(), edges); }
+
+std::vector<std::size_t> ConcreteDag::roots() const {
+  return roots_of(nodes.size(), edges);
+}
+std::vector<std::size_t> ConcreteDag::parents(std::size_t j) const {
+  return parents_of(j, edges);
+}
+std::vector<std::size_t> ConcreteDag::children(std::size_t j) const {
+  std::vector<std::size_t> out;
+  for (const auto& [p, c] : edges) {
+    if (p == j) out.push_back(c);
+  }
+  return out;
+}
+bool ConcreteDag::acyclic() const {
+  return acyclic_check(nodes.size(), edges);
+}
+std::size_t ConcreteDag::count(NodeType t) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes.begin(), nodes.end(),
+                    [&](const ConcreteNode& n) { return n.type == t; }));
+}
+
+}  // namespace grid3::workflow

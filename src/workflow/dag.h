@@ -1,0 +1,72 @@
+// Abstract and concrete DAG representations (Pegasus vocabulary: the
+// abstract DAG is site-independent "what"; the concrete DAG binds each
+// job to a site and adds data-movement nodes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace grid3::workflow {
+
+struct AbstractJob {
+  std::string derivation_id;
+  std::string transformation;
+  std::string required_app;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  Time runtime;
+  Bytes output_size;
+  Bytes scratch;
+};
+
+/// DAG with parent -> child edges stored as index pairs.
+struct AbstractDag {
+  std::vector<AbstractJob> jobs;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  /// Indices of jobs with no parents.
+  [[nodiscard]] std::vector<std::size_t> roots() const;
+  /// Parents of a job.
+  [[nodiscard]] std::vector<std::size_t> parents(std::size_t j) const;
+  /// True when the edge set is acyclic (validated by tests/planner).
+  [[nodiscard]] bool acyclic() const;
+};
+
+enum class NodeType {
+  kCompute,   ///< runs the transformation at the bound site
+  kStageIn,   ///< moves an input replica to the execution site
+  kStageOut,  ///< archives an output to the collection SE
+  kRegister,  ///< records the archived replica in RLS
+};
+
+[[nodiscard]] const char* to_string(NodeType t);
+
+struct ConcreteNode {
+  NodeType type = NodeType::kCompute;
+  std::string name;            ///< display/debug label
+  std::string site;            ///< execution or transfer-destination site
+  std::string derivation_id;   ///< for compute nodes
+  std::vector<std::string> lfns;  ///< files touched (staged / registered)
+  Time runtime;                ///< compute nodes
+  Time requested_walltime;     ///< queue request (runtime * planner slack)
+  Bytes bytes;                 ///< staged bytes for data nodes
+  Bytes scratch;               ///< compute working space
+  std::string source_site;     ///< stage-in source / stage-out origin
+  int priority = 0;            ///< batch priority (< 0 = backfill)
+};
+
+struct ConcreteDag {
+  std::vector<ConcreteNode> nodes;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  [[nodiscard]] std::vector<std::size_t> roots() const;
+  [[nodiscard]] std::vector<std::size_t> parents(std::size_t j) const;
+  [[nodiscard]] std::vector<std::size_t> children(std::size_t j) const;
+  [[nodiscard]] bool acyclic() const;
+  [[nodiscard]] std::size_t count(NodeType t) const;
+};
+
+}  // namespace grid3::workflow

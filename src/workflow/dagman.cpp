@@ -1,0 +1,286 @@
+#include "workflow/dagman.h"
+
+#include <cassert>
+
+namespace grid3::workflow {
+
+DagMan::DagMan(sim::Simulation& sim, gram::CondorG& condor_g,
+               gridftp::GridFtpClient& ftp, rls::ReplicaLocationService* rls,
+               SiteServices& services, DagManConfig cfg)
+    : sim_{sim},
+      condor_g_{condor_g},
+      ftp_{ftp},
+      rls_{rls},
+      services_{services},
+      cfg_{cfg} {}
+
+void DagMan::run(ConcreteDag dag, vo::VomsProxy proxy, DoneFn done,
+                 NodeObserver on_node) {
+  ++dags_run_;
+  auto run = std::make_shared<Run>();
+  run->dag = std::move(dag);
+  run->proxy = std::move(proxy);
+  run->done = std::move(done);
+  run->on_node = std::move(on_node);
+  run->states.assign(run->dag.nodes.size(), NodeState::kPending);
+  run->attempts.assign(run->dag.nodes.size(), 0);
+  run->stats.nodes_total = run->dag.nodes.size();
+  run->stats.started = sim_.now();
+  run->stats.node_results.resize(run->dag.nodes.size());
+  launch_ready(run);
+  maybe_finish(run);
+}
+
+ConcreteDag DagMan::rescue_dag(const ConcreteDag& dag,
+                               const DagRunStats& stats) {
+  ConcreteDag rescue;
+  // Map old index -> new index for unfinished nodes.
+  std::vector<std::size_t> remap(dag.nodes.size(),
+                                 static_cast<std::size_t>(-1));
+  for (std::size_t idx : stats.rescue) {
+    if (idx >= dag.nodes.size()) continue;
+    remap[idx] = rescue.nodes.size();
+    rescue.nodes.push_back(dag.nodes[idx]);
+  }
+  for (const auto& [parent, child] : dag.edges) {
+    // Edges from completed parents vanish (the dependency is satisfied);
+    // edges between two unfinished nodes carry over.
+    if (remap[parent] == static_cast<std::size_t>(-1)) continue;
+    if (remap[child] == static_cast<std::size_t>(-1)) continue;
+    rescue.edges.emplace_back(remap[parent], remap[child]);
+  }
+  return rescue;
+}
+
+void DagMan::launch_ready(const std::shared_ptr<Run>& run) {
+  for (std::size_t i = 0; i < run->dag.nodes.size(); ++i) {
+    if (run->states[i] != NodeState::kPending) continue;
+    bool ready = true;
+    for (std::size_t p : run->dag.parents(i)) {
+      if (run->states[p] != NodeState::kDone) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) start_node(run, i);
+  }
+}
+
+void DagMan::start_node(const std::shared_ptr<Run>& run, std::size_t idx) {
+  run->states[idx] = NodeState::kRunning;
+  ++run->outstanding;
+  ++run->attempts[idx];
+  const ConcreteNode& node = run->dag.nodes[idx];
+  const Time now = sim_.now();
+
+  switch (node.type) {
+    case NodeType::kCompute: {
+      gram::Gatekeeper* gk = services_.gatekeeper(node.site);
+      if (gk == nullptr) {
+        NodeResult r;
+        r.index = idx;
+        r.type = node.type;
+        r.site = node.site;
+        r.ok = false;
+        r.attempts = run->attempts[idx];
+        r.submitted = r.started = r.finished = now;
+        r.gram_status = gram::GramStatus::kGatekeeperDown;
+        r.site_problem = true;
+        r.failure_class = "site-unknown";
+        node_done(run, idx, std::move(r));
+        return;
+      }
+      gram::GramJob job;
+      job.proxy = run->proxy;
+      job.request.vo = run->proxy.vo;
+      job.request.user_dn = run->proxy.identity.subject_dn;
+      job.request.requested_walltime = node.requested_walltime;
+      job.request.actual_runtime = node.runtime;
+      job.request.priority = node.priority;
+      job.scratch = node.scratch;
+      if (node.bytes > Bytes::zero() && !node.source_site.empty()) {
+        job.stage_in = node.bytes;
+        job.stage_in_source = services_.ftp(node.source_site);
+      }
+      condor_g_.submit_to(*gk, std::move(job),
+                          [this, run, idx](const gram::GramResult& res) {
+                            const ConcreteNode& n = run->dag.nodes[idx];
+                            NodeResult r;
+                            r.index = idx;
+                            r.type = n.type;
+                            r.site = n.site;
+                            r.source_site = n.source_site;
+                            r.bytes = n.bytes;  // jobmanager staging volume
+                            r.ok = res.ok();
+                            r.attempts = run->attempts[idx];
+                            r.submitted = res.submitted;
+                            r.started = res.ok() ? res.outcome.started
+                                                 : res.submitted;
+                            r.finished = res.finished;
+                            r.gram_status = res.status;
+                            r.gram_contact = res.gram_contact;
+                            if (!res.ok()) {
+                              r.site_problem =
+                                  gram::is_site_problem(res.status);
+                              r.failure_class = gram::to_string(res.status);
+                            }
+                            node_done(run, idx, std::move(r));
+                          });
+      return;
+    }
+    case NodeType::kStageIn:
+    case NodeType::kStageOut: {
+      gridftp::GridFtpServer* src = services_.ftp(node.source_site);
+      gridftp::GridFtpServer* dst = services_.ftp(node.site);
+      if (src == nullptr || dst == nullptr) {
+        NodeResult r;
+        r.index = idx;
+        r.type = node.type;
+        r.site = node.site;
+        r.ok = false;
+        r.attempts = run->attempts[idx];
+        r.submitted = r.started = r.finished = now;
+        r.transfer_status = gridftp::TransferStatus::kFailedServerDown;
+        r.site_problem = true;
+        r.failure_class = "ftp-endpoint-missing";
+        node_done(run, idx, std::move(r));
+        return;
+      }
+      gridftp::TransferRequest req;
+      req.src = src;
+      req.dst = dst;
+      req.size = node.bytes;
+      req.lfn = node.name;
+      req.dest_volume = services_.volume(node.site);
+      ftp_.transfer(std::move(req),
+                    [this, run, idx](const gridftp::TransferRecord& rec) {
+                      const ConcreteNode& n = run->dag.nodes[idx];
+                      NodeResult r;
+                      r.index = idx;
+                      r.type = n.type;
+                      r.site = n.site;
+                      r.source_site = n.source_site;
+                      r.bytes = rec.transferred;
+                      r.ok = rec.ok();
+                      r.attempts = run->attempts[idx];
+                      r.submitted = rec.started;
+                      r.started = rec.started;
+                      r.finished = rec.finished;
+                      r.transfer_status = rec.status;
+                      if (!rec.ok()) {
+                        r.site_problem = true;  // transfers fail at sites
+                        r.failure_class = gridftp::to_string(rec.status);
+                      }
+                      node_done(run, idx, std::move(r));
+                    });
+      return;
+    }
+    case NodeType::kRegister: {
+      // Catalog writes are cheap; model a short service round-trip.
+      sim_.schedule_in(Time::seconds(2), [this, run, idx] {
+        const ConcreteNode& n = run->dag.nodes[idx];
+        if (rls_ != nullptr) {
+          const Bytes per_file =
+              n.lfns.empty() ? Bytes::zero()
+                             : Bytes::of(n.bytes.count() /
+                                         static_cast<std::int64_t>(
+                                             n.lfns.size()));
+          for (const std::string& lfn : n.lfns) {
+            rls_->register_replica(
+                n.site, lfn,
+                {"gsiftp://" + n.site + "/" + lfn, per_file, sim_.now()},
+                sim_.now());
+          }
+        }
+        NodeResult r;
+        r.index = idx;
+        r.type = n.type;
+        r.site = n.site;
+        r.ok = true;
+        r.attempts = run->attempts[idx];
+        r.submitted = r.started = sim_.now();
+        r.finished = sim_.now();
+        node_done(run, idx, std::move(r));
+      });
+      return;
+    }
+  }
+}
+
+void DagMan::node_done(const std::shared_ptr<Run>& run, std::size_t idx,
+                       NodeResult result) {
+  assert(run->outstanding > 0);
+  --run->outstanding;
+  if (run->on_node) run->on_node(result);
+
+  if (result.ok) {
+    run->states[idx] = NodeState::kDone;
+    ++run->stats.succeeded;
+    run->stats.node_results[idx] = std::move(result);
+    launch_ready(run);
+    maybe_finish(run);
+    return;
+  }
+
+  if (run->attempts[idx] <= cfg_.node_retries) {
+    ++run->stats.retries;
+    run->states[idx] = NodeState::kPending;
+    // Hold the slot: mark running again after the delay via start_node.
+    ++run->outstanding;  // reserve so the DAG does not finish early
+    sim_.schedule_in(cfg_.retry_delay, [this, run, idx] {
+      --run->outstanding;
+      if (run->states[idx] == NodeState::kPending) start_node(run, idx);
+      maybe_finish(run);
+    });
+    return;
+  }
+
+  run->states[idx] = NodeState::kFailed;
+  ++run->stats.failed;
+  run->stats.node_results[idx] = std::move(result);
+  skip_descendants(run, idx);
+  maybe_finish(run);
+}
+
+void DagMan::skip_descendants(const std::shared_ptr<Run>& run,
+                              std::size_t idx) {
+  for (std::size_t c : run->dag.children(idx)) {
+    if (run->states[c] == NodeState::kPending) {
+      run->states[c] = NodeState::kSkipped;
+      ++run->stats.skipped;
+      skip_descendants(run, c);
+    }
+  }
+}
+
+void DagMan::maybe_finish(const std::shared_ptr<Run>& run) {
+  if (run->finished || run->outstanding > 0) return;
+  // Any pending node still launchable?  (launch_ready would have started
+  // it; remaining pendings are blocked behind failures -> skipped.)
+  for (std::size_t i = 0; i < run->states.size(); ++i) {
+    if (run->states[i] == NodeState::kRunning) return;
+    if (run->states[i] == NodeState::kPending) {
+      // Blocked behind a failed/skipped parent?
+      bool blocked = false;
+      for (std::size_t p : run->dag.parents(i)) {
+        if (run->states[p] == NodeState::kFailed ||
+            run->states[p] == NodeState::kSkipped) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) return;  // retry in flight or awaiting parents
+      run->states[i] = NodeState::kSkipped;
+      ++run->stats.skipped;
+    }
+  }
+  run->finished = true;
+  run->stats.finished = sim_.now();
+  run->stats.success = run->stats.failed == 0 && run->stats.skipped == 0;
+  for (std::size_t i = 0; i < run->states.size(); ++i) {
+    if (run->states[i] != NodeState::kDone) run->stats.rescue.push_back(i);
+  }
+  if (run->done) run->done(run->stats);
+}
+
+}  // namespace grid3::workflow

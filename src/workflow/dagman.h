@@ -1,0 +1,129 @@
+// DAGMan: dependency-driven execution of a concrete DAG (paper ref [41]).
+//
+// Ready nodes launch as soon as their parents succeed: compute nodes go
+// through Condor-G to the bound site's gatekeeper, data nodes run as
+// GridFTP third-party transfers, register nodes write RLS entries.
+// Failed nodes retry with a delay; a permanently failed node skips its
+// descendants, and the run report carries the rescue list (unfinished
+// node indices) so a caller can resubmit -- DAGMan's rescue-DAG
+// behaviour.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gram/condor_g.h"
+#include "gram/gatekeeper.h"
+#include "gridftp/gridftp.h"
+#include "rls/rls.h"
+#include "sim/simulation.h"
+#include "srm/disk.h"
+#include "workflow/dag.h"
+
+namespace grid3::workflow {
+
+/// Resolves site names to their service endpoints; implemented by the
+/// Grid3 fabric in core.
+class SiteServices {
+ public:
+  virtual ~SiteServices() = default;
+  [[nodiscard]] virtual gram::Gatekeeper* gatekeeper(
+      const std::string& site) = 0;
+  [[nodiscard]] virtual gridftp::GridFtpServer* ftp(
+      const std::string& site) = 0;
+  [[nodiscard]] virtual srm::DiskVolume* volume(const std::string& site) = 0;
+};
+
+struct NodeResult {
+  std::size_t index = 0;
+  NodeType type = NodeType::kCompute;
+  std::string site;
+  std::string source_site;  ///< data nodes: where the bytes came from
+  Bytes bytes;              ///< data nodes: volume moved
+  bool ok = false;
+  int attempts = 0;
+  Time submitted;
+  Time started;   ///< batch start for compute nodes (== submitted otherwise)
+  Time finished;
+  gram::GramStatus gram_status = gram::GramStatus::kCompleted;
+  std::string gram_contact;  ///< execution-side jobmanager id
+  gridftp::TransferStatus transfer_status = gridftp::TransferStatus::kCompleted;
+  /// Failure attribution per the section 6.1 taxonomy.
+  bool site_problem = false;
+  std::string failure_class;
+};
+
+struct DagRunStats {
+  bool success = false;
+  std::size_t nodes_total = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;  ///< descendants of failed nodes
+  int retries = 0;
+  Time started;
+  Time finished;
+  std::vector<NodeResult> node_results;
+  std::vector<std::size_t> rescue;  ///< indices needing a rescue run
+};
+
+struct DagManConfig {
+  int node_retries = 2;
+  Time retry_delay = Time::minutes(10);
+};
+
+class DagMan {
+ public:
+  using DoneFn = std::function<void(const DagRunStats&)>;
+  using NodeObserver = std::function<void(const NodeResult&)>;
+
+  DagMan(sim::Simulation& sim, gram::CondorG& condor_g,
+         gridftp::GridFtpClient& ftp, rls::ReplicaLocationService* rls,
+         SiteServices& services, DagManConfig cfg = {});
+
+  /// Execute `dag` under `proxy`.  `done` fires exactly once; `on_node`
+  /// (optional) fires per terminal node attempt for accounting.
+  void run(ConcreteDag dag, vo::VomsProxy proxy, DoneFn done,
+           NodeObserver on_node = {});
+
+  [[nodiscard]] std::uint64_t dags_run() const { return dags_run_; }
+
+  /// Build the rescue DAG for a failed run: the sub-DAG of nodes that
+  /// did not complete, with edges restricted to survivors -- resubmit it
+  /// to continue where the run stopped (completed work is not redone).
+  [[nodiscard]] static ConcreteDag rescue_dag(const ConcreteDag& dag,
+                                              const DagRunStats& stats);
+
+ private:
+  enum class NodeState { kPending, kRunning, kDone, kFailed, kSkipped };
+
+  struct Run {
+    ConcreteDag dag;
+    vo::VomsProxy proxy;
+    DoneFn done;
+    NodeObserver on_node;
+    std::vector<NodeState> states;
+    std::vector<int> attempts;
+    DagRunStats stats;
+    std::size_t outstanding = 0;
+    bool finished = false;
+  };
+
+  void launch_ready(const std::shared_ptr<Run>& run);
+  void start_node(const std::shared_ptr<Run>& run, std::size_t idx);
+  void node_done(const std::shared_ptr<Run>& run, std::size_t idx,
+                 NodeResult result);
+  void skip_descendants(const std::shared_ptr<Run>& run, std::size_t idx);
+  void maybe_finish(const std::shared_ptr<Run>& run);
+
+  sim::Simulation& sim_;
+  gram::CondorG& condor_g_;
+  gridftp::GridFtpClient& ftp_;
+  rls::ReplicaLocationService* rls_;
+  SiteServices& services_;
+  DagManConfig cfg_;
+  std::uint64_t dags_run_ = 0;
+};
+
+}  // namespace grid3::workflow

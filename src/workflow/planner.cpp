@@ -1,0 +1,278 @@
+#include "workflow/planner.h"
+
+#include <algorithm>
+
+#include "mds/schema.h"
+
+namespace grid3::workflow {
+
+std::vector<std::string> PegasusPlanner::eligible_sites(
+    const std::string& required_app, Time max_runtime,
+    const PlannerConfig& cfg, Time now) const {
+  const Time needed_walltime =
+      Time::seconds(max_runtime.to_seconds() * cfg.walltime_slack);
+  auto snaps = giis_.find(
+      [&](const mds::SiteSnapshot& s) {
+        if (!required_app.empty() &&
+            !s.get(mds::app_attribute(required_app)).has_value()) {
+          return false;
+        }
+        if (auto free = s.get_int(mds::glue::kFreeCpus);
+            free.has_value() && *free < cfg.min_free_cpus) {
+          return false;
+        }
+        if (auto limit = s.get_int(mds::glue::kMaxWallClockMinutes);
+            limit.has_value() &&
+            Time::minutes(static_cast<double>(*limit)) < needed_walltime) {
+          return false;
+        }
+        if (cfg.need_outbound) {
+          auto outbound = s.get_bool(mds::grid3ext::kOutboundConnectivity);
+          if (!outbound.has_value() || !*outbound) return false;
+        }
+        return true;
+      },
+      now);
+  std::vector<std::string> out;
+  out.reserve(snaps.size());
+  for (const auto& s : snaps) out.push_back(s.site);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string PegasusPlanner::choose_site(
+    const std::vector<std::string>& candidates, const PlannerConfig& cfg,
+    util::Rng& rng) const {
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (const std::string& site : candidates) {
+    auto it = cfg.site_preference.find(site);
+    weights.push_back(it == cfg.site_preference.end() ? 1.0 : it->second);
+  }
+  return candidates[rng.weighted_index(weights)];
+}
+
+namespace {
+
+/// Forward topological order of an abstract DAG (Kahn's algorithm).
+std::vector<std::size_t> topo_order(const AbstractDag& dag) {
+  std::vector<std::size_t> indegree(dag.jobs.size(), 0);
+  for (const auto& [p, c] : dag.edges) ++indegree[c];
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  while (!ready.empty()) {
+    const std::size_t j = ready.back();
+    ready.pop_back();
+    order.push_back(j);
+    for (const auto& [p, c] : dag.edges) {
+      if (p == j && --indegree[c] == 0) ready.push_back(c);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
+                                                const PlannerConfig& cfg,
+                                                util::Rng& rng,
+                                                Time now) const {
+  ConcreteDag out;
+  // Map: abstract index -> concrete compute-node index (SIZE_MAX = pruned).
+  constexpr std::size_t kPruned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> compute_index(dag.jobs.size(), kPruned);
+
+  // Which outputs have consumers inside the DAG (non-final)?
+  std::map<std::string, bool> consumed;
+  for (const AbstractJob& j : dag.jobs) {
+    for (const std::string& in : j.inputs) consumed[in] = true;
+  }
+
+  // Workflow reduction (Pegasus "virtual data reuse"): processing jobs in
+  // reverse topological order, a derivation runs only if it must produce
+  // at least one LFN that (a) has no registered replica and (b) is either
+  // a final output or consumed by a job that runs.
+  std::vector<char> runs(dag.jobs.size(), 1);
+  if (cfg.reuse_existing) {
+    auto exists = [&](const std::string& lfn) {
+      return !rls_.locate(lfn, now).empty();
+    };
+    // Consumers of each LFN, by job index.
+    std::map<std::string, std::vector<std::size_t>> lfn_consumers;
+    for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
+      for (const std::string& in : dag.jobs[i].inputs) {
+        lfn_consumers[in].push_back(i);
+      }
+    }
+    const auto order = topo_order(dag);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::size_t i = *it;
+      bool needed = false;
+      for (const std::string& o : dag.jobs[i].outputs) {
+        if (exists(o)) continue;
+        auto cit = lfn_consumers.find(o);
+        const bool is_final = cit == lfn_consumers.end();
+        if (is_final) {
+          needed = true;
+          break;
+        }
+        for (std::size_t c : cit->second) {
+          if (runs[c]) {
+            needed = true;
+            break;
+          }
+        }
+        if (needed) break;
+      }
+      runs[i] = needed ? 1 : 0;
+    }
+  }
+
+  for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
+    const AbstractJob& job = dag.jobs[i];
+    if (!runs[i]) continue;
+
+    std::vector<std::string> candidates =
+        eligible_sites(job.required_app, job.runtime, cfg, now);
+    if (candidates.empty()) {
+      last_error_ = PlanError::kNoEligibleSite;
+      return std::nullopt;
+    }
+
+    // Locality: prefer the first already-planned parent's site.
+    std::string site;
+    std::string parent_site;
+    for (std::size_t p : dag.parents(i)) {
+      if (compute_index[p] != kPruned) {
+        parent_site = out.nodes[compute_index[p]].site;
+        break;
+      }
+    }
+    if (!parent_site.empty() &&
+        std::find(candidates.begin(), candidates.end(), parent_site) !=
+            candidates.end() &&
+        rng.chance(cfg.locality)) {
+      site = parent_site;
+    } else {
+      site = choose_site(candidates, cfg, rng);
+    }
+
+    ConcreteNode node;
+    node.type = NodeType::kCompute;
+    node.name = job.derivation_id;
+    node.site = site;
+    node.derivation_id = job.derivation_id;
+    node.runtime = job.runtime;
+    // Users pad their walltime request, but ~5% of requests underestimate
+    // the actual runtime -- those die at the queue limit on enforcing
+    // schedulers (a classic production failure).
+    const double padding = rng.chance(0.10)
+                               ? rng.uniform(0.65, 0.95)
+                               : cfg.walltime_slack;
+    node.requested_walltime =
+        Time::seconds(job.runtime.to_seconds() * padding);
+    node.scratch = job.scratch;
+    node.lfns = job.outputs;
+
+    // External inputs -- no producer in the DAG, or the producer was
+    // pruned because a replica already exists: resolve via RLS and fold
+    // the bytes into jobmanager staging.
+    Bytes external_in;
+    for (const std::string& in : job.inputs) {
+      bool produced_by_running_job = false;
+      for (std::size_t p = 0; p < dag.jobs.size(); ++p) {
+        if (!runs[p]) continue;
+        const auto& outs = dag.jobs[p].outputs;
+        if (std::find(outs.begin(), outs.end(), in) != outs.end()) {
+          produced_by_running_job = true;
+          break;
+        }
+      }
+      if (produced_by_running_job) continue;
+      for (const auto& [rsite, replica] : rls_.locate(in, now)) {
+        if (rsite == site) {
+          break;  // local replica, no staging
+        }
+        external_in += replica.size;
+        node.source_site = rsite;
+        break;  // first remote replica wins
+      }
+    }
+    node.bytes = external_in;
+
+    compute_index[i] = out.nodes.size();
+    out.nodes.push_back(std::move(node));
+  }
+
+  if (out.nodes.empty()) {
+    // Everything pruned: an empty (trivially successful) plan.
+    return out;
+  }
+
+  // Dependency edges between surviving compute nodes, with stage-in nodes
+  // where parent and child landed on different sites.
+  for (const auto& [p, c] : dag.edges) {
+    if (compute_index[p] == kPruned || compute_index[c] == kPruned) continue;
+    const std::size_t cp = compute_index[p];
+    const std::size_t cc = compute_index[c];
+    if (out.nodes[cp].site == out.nodes[cc].site) {
+      out.edges.emplace_back(cp, cc);
+    } else {
+      ConcreteNode mover;
+      mover.type = NodeType::kStageIn;
+      mover.name = "stage:" + out.nodes[cp].name + "->" + out.nodes[cc].name;
+      mover.site = out.nodes[cc].site;
+      mover.source_site = out.nodes[cp].site;
+      mover.bytes = dag.jobs[p].output_size;
+      mover.lfns = dag.jobs[p].outputs;
+      const std::size_t mi = out.nodes.size();
+      out.nodes.push_back(std::move(mover));
+      out.edges.emplace_back(cp, mi);
+      out.edges.emplace_back(mi, cc);
+    }
+  }
+
+  // Stage-out + register for final (or all) outputs.
+  for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
+    if (compute_index[i] == kPruned) continue;
+    const AbstractJob& job = dag.jobs[i];
+    bool is_final = cfg.archive_all;
+    if (!is_final) {
+      is_final = std::any_of(job.outputs.begin(), job.outputs.end(),
+                             [&](const std::string& o) {
+                               auto it = consumed.find(o);
+                               return it == consumed.end() || !it->second;
+                             });
+    }
+    if (!is_final || job.outputs.empty() || cfg.archive_site.empty()) {
+      continue;
+    }
+    const std::size_t ci = compute_index[i];
+    ConcreteNode so;
+    so.type = NodeType::kStageOut;
+    so.name = "archive:" + job.derivation_id;
+    so.site = cfg.archive_site;
+    so.source_site = out.nodes[ci].site;
+    so.bytes = job.output_size;
+    so.lfns = job.outputs;
+    const std::size_t si = out.nodes.size();
+    out.nodes.push_back(std::move(so));
+    out.edges.emplace_back(ci, si);
+
+    ConcreteNode reg;
+    reg.type = NodeType::kRegister;
+    reg.name = "register:" + job.derivation_id;
+    reg.site = cfg.archive_site;
+    reg.bytes = job.output_size;
+    reg.lfns = job.outputs;
+    const std::size_t ri = out.nodes.size();
+    out.nodes.push_back(std::move(reg));
+    out.edges.emplace_back(si, ri);
+  }
+  return out;
+}
+
+}  // namespace grid3::workflow

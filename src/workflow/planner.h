@@ -1,0 +1,77 @@
+// Pegasus-style planner: abstract DAG -> concrete DAG (paper refs
+// [33-34]).
+//
+// Responsibilities reproduced from the real planner:
+//  * virtual-data reuse: derivations whose outputs already exist in RLS
+//    are pruned from the plan;
+//  * site selection: only sites advertising the required application in
+//    MDS, enough free CPUs, a compatible walltime limit, and (when the
+//    application demands it) outbound connectivity are eligible --
+//    exactly the four site-selection drivers of section 6.4;
+//  * data movement: external inputs are folded into the compute node's
+//    jobmanager staging; cross-site parent->child data gets stage-in
+//    nodes; final outputs get stage-out + RLS-register nodes to the VO
+//    archive.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mds/giis.h"
+#include "rls/rls.h"
+#include "util/rng.h"
+#include "workflow/dag.h"
+
+namespace grid3::workflow {
+
+struct PlannerConfig {
+  std::string vo;
+  std::string archive_site;  ///< Tier1 SE for final outputs (BNL, FNAL)
+  /// Requested walltime = runtime * slack (queue padding).
+  double walltime_slack = 1.5;
+  int min_free_cpus = 1;
+  bool need_outbound = false;
+  /// Multiplicative per-site preference weights ("favorite" resources,
+  /// section 6.4); unlisted sites weigh 1.
+  std::map<std::string, double> site_preference;
+  /// Probability a child job is co-located with its first parent.
+  double locality = 0.7;
+  /// Skip derivations whose outputs are already registered (virtual data).
+  bool reuse_existing = true;
+  /// Archive every output, or only DAG-final ones.
+  bool archive_all = false;
+};
+
+/// Why a plan failed.
+enum class PlanError { kNoEligibleSite, kEmptyDag };
+
+class PegasusPlanner {
+ public:
+  PegasusPlanner(const mds::Giis& giis, const rls::ReplicaLocationService& rls)
+      : giis_{giis}, rls_{rls} {}
+
+  /// Sites currently eligible to run a job needing `app`.
+  [[nodiscard]] std::vector<std::string> eligible_sites(
+      const std::string& required_app, Time max_runtime,
+      const PlannerConfig& cfg, Time now) const;
+
+  [[nodiscard]] std::optional<ConcreteDag> plan(const AbstractDag& dag,
+                                                const PlannerConfig& cfg,
+                                                util::Rng& rng,
+                                                Time now) const;
+
+  [[nodiscard]] PlanError last_error() const { return last_error_; }
+
+ private:
+  [[nodiscard]] std::string choose_site(
+      const std::vector<std::string>& candidates, const PlannerConfig& cfg,
+      util::Rng& rng) const;
+
+  const mds::Giis& giis_;
+  const rls::ReplicaLocationService& rls_;
+  mutable PlanError last_error_ = PlanError::kEmptyDag;
+};
+
+}  // namespace grid3::workflow

@@ -1,0 +1,136 @@
+#include "workflow/vdc.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace grid3::workflow {
+
+void VirtualDataCatalog::add_transformation(Transformation t) {
+  transformations_.insert_or_assign(t.name, std::move(t));
+}
+
+void VirtualDataCatalog::add_derivation(Derivation d) {
+  const std::size_t idx = derivations_.size();
+  for (const std::string& out : d.outputs) {
+    producer_index_[out] = idx;
+  }
+  derivations_.push_back(std::move(d));
+}
+
+const Transformation* VirtualDataCatalog::find_transformation(
+    const std::string& name) const {
+  auto it = transformations_.find(name);
+  return it == transformations_.end() ? nullptr : &it->second;
+}
+
+const Derivation* VirtualDataCatalog::producer_of(
+    const std::string& lfn) const {
+  auto it = producer_index_.find(lfn);
+  return it == producer_index_.end() ? nullptr : &derivations_[it->second];
+}
+
+VirtualDataCatalog::Provenance VirtualDataCatalog::provenance_of(
+    const std::string& lfn) const {
+  Provenance out;
+  std::set<std::size_t> seen;
+  std::set<std::string> external;
+  std::deque<std::string> frontier{lfn};
+  std::vector<std::size_t> order;  // discovery order (target-first)
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    auto it = producer_index_.find(current);
+    if (it == producer_index_.end()) {
+      if (current != lfn) external.insert(current);
+      continue;
+    }
+    if (!seen.insert(it->second).second) continue;
+    order.push_back(it->second);
+    for (const std::string& in : derivations_[it->second].inputs) {
+      frontier.push_back(in);
+    }
+  }
+  // Root-first: reverse the discovery order (ancestors were found last).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    out.lineage.push_back(&derivations_[*it]);
+  }
+  out.external_inputs.assign(external.begin(), external.end());
+  return out;
+}
+
+std::vector<const Derivation*> VirtualDataCatalog::consumers_of(
+    const std::string& lfn) const {
+  std::vector<const Derivation*> out;
+  std::set<std::size_t> seen;
+  std::deque<std::string> frontier{lfn};
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    for (std::size_t i = 0; i < derivations_.size(); ++i) {
+      const Derivation& d = derivations_[i];
+      if (std::find(d.inputs.begin(), d.inputs.end(), current) ==
+          d.inputs.end()) {
+        continue;
+      }
+      if (!seen.insert(i).second) continue;
+      out.push_back(&d);
+      for (const std::string& o : d.outputs) frontier.push_back(o);
+    }
+  }
+  return out;
+}
+
+std::optional<AbstractDag> VirtualDataCatalog::request(
+    const std::vector<std::string>& targets) const {
+  // BFS over producing derivations; every target must have a producer,
+  // intermediate inputs without producers are external (RLS-resolved).
+  std::set<std::size_t> needed;
+  std::deque<std::size_t> frontier;
+  for (const std::string& lfn : targets) {
+    auto it = producer_index_.find(lfn);
+    if (it == producer_index_.end()) return std::nullopt;
+    if (needed.insert(it->second).second) frontier.push_back(it->second);
+  }
+  while (!frontier.empty()) {
+    const std::size_t idx = frontier.front();
+    frontier.pop_front();
+    for (const std::string& in : derivations_[idx].inputs) {
+      auto it = producer_index_.find(in);
+      if (it == producer_index_.end()) continue;  // external input
+      if (needed.insert(it->second).second) frontier.push_back(it->second);
+    }
+  }
+
+  AbstractDag dag;
+  std::map<std::size_t, std::size_t> index_map;  // derivation -> dag index
+  for (std::size_t idx : needed) {
+    const Derivation& d = derivations_[idx];
+    AbstractJob job;
+    job.derivation_id = d.id;
+    job.transformation = d.transformation;
+    if (const Transformation* t = find_transformation(d.transformation)) {
+      job.required_app = t->required_app;
+    }
+    job.inputs = d.inputs;
+    job.outputs = d.outputs;
+    job.runtime = d.runtime;
+    job.output_size = d.output_size;
+    job.scratch = d.scratch;
+    index_map[idx] = dag.jobs.size();
+    dag.jobs.push_back(std::move(job));
+  }
+  // Edges: producer -> consumer when a needed derivation consumes another
+  // needed derivation's output.
+  for (std::size_t idx : needed) {
+    for (const std::string& in : derivations_[idx].inputs) {
+      auto it = producer_index_.find(in);
+      if (it == producer_index_.end()) continue;
+      if (!needed.contains(it->second)) continue;
+      dag.edges.emplace_back(index_map.at(it->second), index_map.at(idx));
+    }
+  }
+  return dag;
+}
+
+}  // namespace grid3::workflow

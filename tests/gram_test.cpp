@@ -1,0 +1,253 @@
+// Unit tests for the GRAM gatekeeper: authentication, staging, the
+// section 6.4 load model, overload behaviour, and Condor-G retries.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "batch/scheduler.h"
+#include "gram/condor_g.h"
+#include "gram/gatekeeper.h"
+#include "gridftp/gridftp.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "srm/disk.h"
+#include "vo/gridmap.h"
+#include "vo/voms.h"
+
+namespace grid3::gram {
+namespace {
+
+class GramTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  net::Network net{sim};
+  gridftp::GridFtpClient ftp_client{sim, net};
+  vo::CertificateAuthority ca{"TestCA"};
+  vo::VomsServer voms{"usatlas"};
+  vo::GridMapFile gridmap;
+  srm::DiskVolume scratch{"site:/scratch", Bytes::tb(1)};
+
+  net::NodeId site_node = net.add_node({"SITE", Bandwidth::mbps(155),
+                                        Bandwidth::mbps(155), true});
+  net::NodeId data_node = net.add_node({"DATA", Bandwidth::mbps(622),
+                                        Bandwidth::mbps(622), true});
+  gridftp::GridFtpServer site_ftp{"SITE", site_node};
+  gridftp::GridFtpServer data_ftp{"DATA", data_node};
+
+  batch::SchedulerConfig sched_cfg{.site_name = "SITE", .slots = 8,
+                                   .max_walltime = Time::hours(48)};
+  batch::PbsScheduler lrms{sim, sched_cfg};
+  // Deterministic unit tests: disable the stochastic flake/error rates
+  // (they are exercised by their own tests and the integration suite).
+  GatekeeperConfig gk_cfg{.site = "SITE",
+                          .submission_flake_rate = 0.0,
+                          .app_error_rate = 0.0};
+  Gatekeeper gk{sim, gk_cfg, lrms, gridmap, ca,
+                ftp_client, site_ftp, scratch};
+
+  vo::Certificate alice_cert;
+  vo::VomsProxy alice;
+
+  void SetUp() override {
+    alice_cert = ca.issue("/CN=alice", sim.now(), Time::days(365));
+    voms.add_member("/CN=alice", vo::Role::kAppAdmin);
+    gridmap.support_vo("usatlas", {"usatlas1", "usatlas"});
+    gridmap.regenerate({&voms}, sim.now());
+    alice = *vo::issue_proxy(voms, alice_cert, sim.now(), Time::hours(96));
+  }
+
+  GramJob simple_job(double runtime_h, double walltime_h = 0.0) {
+    GramJob job;
+    job.proxy = alice;
+    job.request.vo = "usatlas";
+    job.request.user_dn = "/CN=alice";
+    job.request.actual_runtime = Time::hours(runtime_h);
+    job.request.requested_walltime =
+        Time::hours(walltime_h > 0 ? walltime_h : runtime_h + 1);
+    return job;
+  }
+};
+
+TEST_F(GramTest, AuthorizedJobCompletes) {
+  std::optional<GramResult> result;
+  gk.submit(simple_job(2.0), [&](const GramResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(result->outcome.state, batch::JobState::kCompleted);
+  EXPECT_EQ(gk.completions(), 1u);
+}
+
+TEST_F(GramTest, UnknownDnRejected) {
+  GramJob job = simple_job(1.0);
+  job.proxy.identity.subject_dn = "/CN=mallory";
+  std::optional<GramResult> result;
+  gk.submit(std::move(job), [&](const GramResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, GramStatus::kAuthenticationFailed);
+  EXPECT_FALSE(is_site_problem(result->status));
+}
+
+TEST_F(GramTest, ExpiredProxyRejected) {
+  GramJob job = simple_job(1.0);
+  job.proxy.expires = Time::zero();
+  std::optional<GramResult> result;
+  gk.submit(std::move(job), [&](const GramResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, GramStatus::kAuthenticationFailed);
+}
+
+TEST_F(GramTest, VoMismatchRejected) {
+  GramJob job = simple_job(1.0);
+  job.proxy.vo = "uscms";  // proxy VO does not match the mapped account
+  std::optional<GramResult> result;
+  gk.submit(std::move(job), [&](const GramResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, GramStatus::kAuthenticationFailed);
+}
+
+TEST_F(GramTest, DownGatekeeperRefuses) {
+  gk.set_available(false);
+  std::optional<GramResult> result;
+  gk.submit(simple_job(1.0), [&](const GramResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, GramStatus::kGatekeeperDown);
+  EXPECT_TRUE(is_site_problem(result->status));
+}
+
+TEST_F(GramTest, StageInRunsBeforeJob) {
+  GramJob job = simple_job(1.0);
+  job.stage_in = Bytes::gb(4);
+  job.stage_in_source = &data_ftp;
+  std::optional<GramResult> result;
+  gk.submit(std::move(job), [&](const GramResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  // 4 GB at 155 Mbps ~= 206 s; the batch start reflects the staging wait.
+  EXPECT_GT(result->outcome.started.to_seconds(), 150.0);
+  EXPECT_EQ(site_ftp.bytes_in(), Bytes::gb(4));
+}
+
+TEST_F(GramTest, StageOutAfterCompletion) {
+  GramJob job = simple_job(1.0);
+  job.stage_out = Bytes::gb(2);
+  job.stage_out_dest = &data_ftp;
+  std::optional<GramResult> result;
+  gk.submit(std::move(job), [&](const GramResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(data_ftp.bytes_in(), Bytes::gb(2));
+}
+
+TEST_F(GramTest, ProxyExpiryBeforeStageOutFails) {
+  GramJob job = simple_job(1.0);
+  job.proxy = *vo::issue_proxy(voms, alice_cert, sim.now(),
+                               Time::minutes(30));  // outlived by the job
+  job.stage_out = Bytes::gb(1);
+  job.stage_out_dest = &data_ftp;
+  std::optional<GramResult> result;
+  gk.submit(std::move(job), [&](const GramResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, GramStatus::kProxyExpired);
+}
+
+TEST_F(GramTest, ScratchExhaustionReportsDiskFull) {
+  scratch.consume_unmanaged(Bytes::tb(1));
+  GramJob job = simple_job(1.0);
+  job.scratch = Bytes::gb(5);
+  std::optional<GramResult> result;
+  gk.submit(std::move(job), [&](const GramResult& r) { result = r; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, GramStatus::kDiskFull);
+  EXPECT_TRUE(is_site_problem(result->status));
+}
+
+TEST_F(GramTest, ScratchReleasedAfterCompletion) {
+  GramJob job = simple_job(1.0);
+  job.scratch = Bytes::gb(10);
+  gk.submit(std::move(job), {});
+  EXPECT_EQ(scratch.used(), Bytes::gb(10));
+  sim.run();
+  EXPECT_EQ(scratch.used(), Bytes::zero());
+}
+
+TEST_F(GramTest, WalltimeKillSurfacesAsJobKilled) {
+  std::optional<GramResult> result;
+  gk.submit(simple_job(10.0, 2.0), [&](const GramResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, GramStatus::kJobKilled);
+  EXPECT_EQ(result->outcome.state, batch::JobState::kKilledWalltime);
+}
+
+TEST_F(GramTest, LoadModelMatchesPaperCoefficient) {
+  // ~1000 managed no-staging jobs -> sustained 1-minute load ~225.
+  // Spread the submissions over half an hour so the burst term stays
+  // below the overload threshold (as production submission did).
+  for (int i = 0; i < 1000; ++i) {
+    // 30 h jobs fit the 48 h queue limit, so all jobs stay managed.
+    sim.schedule_at(Time::seconds(i * 1.8),
+                    [this] { gk.submit(simple_job(30.0), {}); });
+  }
+  // Let the burst term decay: advance past the last submission.
+  sim.run_until(Time::minutes(32));
+  EXPECT_EQ(gk.managed_jobs(), 1000u);
+  EXPECT_NEAR(gk.one_minute_load(), 225.0, 5.0);
+}
+
+TEST_F(GramTest, StagingFactorsFromSection64) {
+  EXPECT_DOUBLE_EQ(staging_load_factor(Bytes::zero(), Bytes::zero()), 1.0);
+  EXPECT_DOUBLE_EQ(staging_load_factor(Bytes::mb(100), Bytes::zero()), 2.0);
+  EXPECT_DOUBLE_EQ(staging_load_factor(Bytes::gb(1), Bytes::gb(1)), 3.0);
+  EXPECT_DOUBLE_EQ(staging_load_factor(Bytes::gb(4), Bytes::gb(1)), 4.0);
+}
+
+TEST_F(GramTest, OverloadSheddsNewSubmissions) {
+  GatekeeperConfig tight{.site = "SITE", .overload_threshold = 50.0,
+                         .submission_flake_rate = 0.0, .app_error_rate = 0.0};
+  Gatekeeper small_gk{sim, tight, lrms, gridmap, ca,
+                      ftp_client, site_ftp, scratch};
+  int overloaded = 0;
+  for (int i = 0; i < 400; ++i) {
+    small_gk.submit(simple_job(100.0), [&](const GramResult& r) {
+      if (r.status == GramStatus::kGatekeeperOverloaded) ++overloaded;
+    });
+  }
+  EXPECT_GT(overloaded, 0);
+  EXPECT_GT(small_gk.overload_rejections(), 0u);
+  EXPECT_LT(small_gk.managed_jobs(), 400u);
+}
+
+TEST_F(GramTest, CondorGRetriesTransientOverload) {
+  GatekeeperConfig tight{.site = "SITE", .overload_threshold = 12.0,
+                         .submission_flake_rate = 0.0, .app_error_rate = 0.0};
+  Gatekeeper small_gk{sim, tight, lrms, gridmap, ca,
+                      ftp_client, site_ftp, scratch};
+  CondorG condor_g{sim, {.max_retries = 5,
+                         .retry_backoff = Time::minutes(2)}};
+  // A burst of 40 short jobs overloads the gatekeeper; Condor-G retries
+  // shed load across backoff windows and eventually land everything.
+  int completed = 0;
+  for (int i = 0; i < 40; ++i) {
+    condor_g.submit_to(small_gk, simple_job(0.1), [&](const GramResult& r) {
+      if (r.ok()) ++completed;
+    });
+  }
+  sim.run();
+  EXPECT_GT(condor_g.retries(), 0u);
+  EXPECT_EQ(completed, 40);
+}
+
+TEST_F(GramTest, TransientClassification) {
+  EXPECT_TRUE(is_transient(GramStatus::kGatekeeperOverloaded));
+  EXPECT_TRUE(is_transient(GramStatus::kGatekeeperDown));
+  EXPECT_TRUE(is_transient(GramStatus::kDiskFull));
+  EXPECT_FALSE(is_transient(GramStatus::kAuthenticationFailed));
+  EXPECT_FALSE(is_transient(GramStatus::kSubmitRejected));
+}
+
+}  // namespace
+}  // namespace grid3::gram

@@ -1,0 +1,106 @@
+// Unit tests for the replica location service: LRC, RLI soft-state,
+// staleness windows.
+#include <gtest/gtest.h>
+
+#include "rls/rls.h"
+
+namespace grid3::rls {
+namespace {
+
+TEST(Lrc, AddLookupRemove) {
+  LocalReplicaCatalog lrc{"BNL"};
+  lrc.add("lfn1", {"gsiftp://BNL/lfn1", Bytes::gb(2), Time::zero()});
+  lrc.add("lfn1", {"gsiftp://BNL/copy2", Bytes::gb(2), Time::zero()});
+  EXPECT_TRUE(lrc.has("lfn1"));
+  EXPECT_EQ(lrc.lookup("lfn1").size(), 2u);
+  EXPECT_EQ(lrc.replica_count(), 2u);
+  EXPECT_TRUE(lrc.remove("lfn1", "gsiftp://BNL/copy2"));
+  EXPECT_EQ(lrc.lookup("lfn1").size(), 1u);
+  EXPECT_EQ(lrc.remove_lfn("lfn1"), 1u);
+  EXPECT_FALSE(lrc.has("lfn1"));
+}
+
+TEST(Lrc, DuplicatePfnUpdatesInPlace) {
+  LocalReplicaCatalog lrc{"BNL"};
+  lrc.add("lfn", {"pfn", Bytes::gb(1), Time::zero()});
+  lrc.add("lfn", {"pfn", Bytes::gb(3), Time::seconds(5)});
+  const auto replicas = lrc.lookup("lfn");
+  ASSERT_EQ(replicas.size(), 1u);
+  EXPECT_EQ(replicas[0].size, Bytes::gb(3));
+}
+
+TEST(Lrc, DownCatalogAnswersNothing) {
+  LocalReplicaCatalog lrc{"BNL"};
+  lrc.add("lfn", {"pfn", Bytes::gb(1), Time::zero()});
+  lrc.set_available(false);
+  EXPECT_FALSE(lrc.has("lfn"));
+  EXPECT_TRUE(lrc.lookup("lfn").empty());
+}
+
+TEST(Rli, SoftStateExpiry) {
+  LocalReplicaCatalog lrc{"BNL"};
+  lrc.add("lfn", {"pfn", Bytes::gb(1), Time::zero()});
+  ReplicaLocationIndex rli{"rli"};
+  rli.set_ttl(Time::minutes(30));
+  rli.update_from(lrc, Time::zero());
+  EXPECT_EQ(rli.sites_with("lfn", Time::minutes(10)).size(), 1u);
+  // Without refresh the entry lapses.
+  EXPECT_TRUE(rli.sites_with("lfn", Time::hours(1)).empty());
+  rli.update_from(lrc, Time::hours(1));
+  EXPECT_EQ(rli.sites_with("lfn", Time::hours(1)).size(), 1u);
+}
+
+TEST(Rli, FullStateDigestDropsRemovedEntries) {
+  LocalReplicaCatalog lrc{"BNL"};
+  lrc.add("old", {"pfn", Bytes::gb(1), Time::zero()});
+  ReplicaLocationIndex rli{"rli"};
+  rli.update_from(lrc, Time::zero());
+  lrc.remove_lfn("old");
+  lrc.add("new", {"pfn2", Bytes::gb(1), Time::zero()});
+  rli.update_from(lrc, Time::seconds(10));
+  EXPECT_TRUE(rli.sites_with("old", Time::seconds(10)).empty());
+  EXPECT_EQ(rli.sites_with("new", Time::seconds(10)).size(), 1u);
+}
+
+TEST(Rls, RegisterAndLocateAcrossSites) {
+  ReplicaLocationService rls{"usatlas"};
+  rls.register_replica("BNL", "dataset1",
+                       {"gsiftp://BNL/d1", Bytes::gb(2), Time::zero()},
+                       Time::zero());
+  rls.register_replica("UC_ATLAS", "dataset1",
+                       {"gsiftp://UC/d1", Bytes::gb(2), Time::zero()},
+                       Time::zero());
+  const auto located = rls.locate("dataset1", Time::minutes(1));
+  EXPECT_EQ(located.size(), 2u);
+  EXPECT_EQ(rls.lrc_count(), 2u);
+  EXPECT_TRUE(rls.locate("missing", Time::zero()).empty());
+}
+
+TEST(Rls, StaleIndexHidesUnrefreshedSites) {
+  ReplicaLocationService rls{"uscms"};
+  rls.rli().set_ttl(Time::minutes(20));
+  rls.register_replica("FNAL", "pileup",
+                       {"gsiftp://FNAL/p", Bytes::gb(1), Time::zero()},
+                       Time::zero());
+  EXPECT_EQ(rls.locate("pileup", Time::minutes(10)).size(), 1u);
+  EXPECT_TRUE(rls.locate("pileup", Time::hours(2)).empty());
+  rls.refresh_all(Time::hours(2));
+  EXPECT_EQ(rls.locate("pileup", Time::hours(2)).size(), 1u);
+}
+
+TEST(Rls, DownLrcSkippedOnRefresh) {
+  ReplicaLocationService rls{"sdss"};
+  rls.register_replica("JHU", "seg", {"pfn", Bytes::mb(500), Time::zero()},
+                       Time::zero());
+  rls.lrc_for("JHU").set_available(false);
+  rls.refresh_all(Time::hours(1));
+  // Refresh skipped the down LRC, so the RLI entry ages out...
+  EXPECT_TRUE(rls.locate("seg", Time::hours(2)).empty());
+  // ...until the catalog recovers and a later refresh re-advertises it.
+  rls.lrc_for("JHU").set_available(true);
+  rls.refresh_all(Time::hours(2));
+  EXPECT_EQ(rls.locate("seg", Time::hours(2)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace grid3::rls

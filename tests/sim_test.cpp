@@ -1,0 +1,139 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace grid3::sim {
+namespace {
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(Time::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(Time::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::seconds(3));
+}
+
+TEST(Simulation, SameInstantFiresInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(Time::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  Time fired;
+  sim.schedule_at(Time::seconds(5), [&] {
+    sim.schedule_in(Time::seconds(10), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, Time::seconds(15));
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(Time::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(sim.cancel(id + 100));  // unknown id
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(Time::seconds(1), [&] { ++count; });
+  sim.schedule_at(Time::seconds(2), [&] { ++count; });
+  sim.schedule_at(Time::seconds(3), [&] { ++count; });
+  sim.run_until(Time::seconds(2));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), Time::seconds(2));
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithNoEvents) {
+  Simulation sim;
+  sim.run_until(Time::hours(5));
+  EXPECT_EQ(sim.now(), Time::hours(5));
+}
+
+TEST(Simulation, EventsScheduledDuringExecutionRun) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(Time::seconds(1), recurse);
+  };
+  sim.schedule_in(Time::seconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.executed(), 5u);
+}
+
+TEST(Simulation, PendingCountsUncancelled) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(Time::seconds(1), [] {});
+  sim.schedule_at(Time::seconds(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(PeriodicProcess, TicksAtInterval) {
+  Simulation sim;
+  PeriodicProcess proc{sim, Time::minutes(10), [] { return true; }};
+  proc.start();
+  sim.run_until(Time::minutes(35));
+  EXPECT_EQ(proc.ticks(), 4u);  // fires at t = 0, 10, 20, 30
+  proc.stop();
+  sim.run_until(Time::hours(2));
+  EXPECT_EQ(proc.ticks(), 4u);
+}
+
+TEST(PeriodicProcess, StopsWhenTickReturnsFalse) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicProcess proc{sim, Time::seconds(1), [&] {
+                         ++ticks;
+                         return ticks < 3;
+                       }};
+  proc.start(Time::seconds(1));
+  sim.run();
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(proc.running());
+}
+
+TEST(PeriodicProcess, InitialDelayRespected) {
+  Simulation sim;
+  Time first;
+  PeriodicProcess proc{sim, Time::minutes(5), [&] {
+                         if (first == Time::zero()) first = sim.now();
+                         return false;
+                       }};
+  proc.start(Time::minutes(2));
+  sim.run();
+  EXPECT_EQ(first, Time::minutes(2));
+}
+
+TEST(PeriodicProcess, DestructorCancelsCleanly) {
+  Simulation sim;
+  {
+    PeriodicProcess proc{sim, Time::seconds(1), [] { return true; }};
+    proc.start();
+  }
+  sim.run_until(Time::seconds(10));  // must not crash / fire
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+}  // namespace
+}  // namespace grid3::sim
