@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_monitoring_redundancy.dir/ablation_monitoring_redundancy.cpp.o"
+  "CMakeFiles/ablation_monitoring_redundancy.dir/ablation_monitoring_redundancy.cpp.o.d"
+  "ablation_monitoring_redundancy"
+  "ablation_monitoring_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_monitoring_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_schedulers.dir/ablation_schedulers.cpp.o"
+  "CMakeFiles/ablation_schedulers.dir/ablation_schedulers.cpp.o.d"
+  "ablation_schedulers"
+  "ablation_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_srm.dir/ablation_srm.cpp.o"
+  "CMakeFiles/ablation_srm.dir/ablation_srm.cpp.o.d"
+  "ablation_srm"
+  "ablation_srm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_srm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_integrated_cpu.dir/fig2_integrated_cpu.cpp.o"
+  "CMakeFiles/fig2_integrated_cpu.dir/fig2_integrated_cpu.cpp.o.d"
+  "fig2_integrated_cpu"
+  "fig2_integrated_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_integrated_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_differential_cpu.dir/fig3_differential_cpu.cpp.o"
+  "CMakeFiles/fig3_differential_cpu.dir/fig3_differential_cpu.cpp.o.d"
+  "fig3_differential_cpu"
+  "fig3_differential_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_differential_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

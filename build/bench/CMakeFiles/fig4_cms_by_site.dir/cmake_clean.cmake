@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cms_by_site.dir/fig4_cms_by_site.cpp.o"
+  "CMakeFiles/fig4_cms_by_site.dir/fig4_cms_by_site.cpp.o.d"
+  "fig4_cms_by_site"
+  "fig4_cms_by_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cms_by_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

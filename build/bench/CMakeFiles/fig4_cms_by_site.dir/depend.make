@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_cms_by_site.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_data_consumed.dir/fig5_data_consumed.cpp.o"
+  "CMakeFiles/fig5_data_consumed.dir/fig5_data_consumed.cpp.o.d"
+  "fig5_data_consumed"
+  "fig5_data_consumed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_data_consumed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

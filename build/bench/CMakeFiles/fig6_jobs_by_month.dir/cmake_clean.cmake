@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_jobs_by_month.dir/fig6_jobs_by_month.cpp.o"
+  "CMakeFiles/fig6_jobs_by_month.dir/fig6_jobs_by_month.cpp.o.d"
+  "fig6_jobs_by_month"
+  "fig6_jobs_by_month.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_jobs_by_month.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_kernel.dir/perf_kernel.cpp.o"
+  "CMakeFiles/perf_kernel.dir/perf_kernel.cpp.o.d"
+  "perf_kernel"
+  "perf_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec61_atlas_failures.cpp" "bench/CMakeFiles/sec61_atlas_failures.dir/sec61_atlas_failures.cpp.o" "gcc" "bench/CMakeFiles/sec61_atlas_failures.dir/sec61_atlas_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/grid3_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/grid3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/grid3_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitoring/CMakeFiles/grid3_monitoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/gram/CMakeFiles/grid3_gram.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/grid3_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rls/CMakeFiles/grid3_rls.dir/DependInfo.cmake"
+  "/root/repo/build/src/srm/CMakeFiles/grid3_srm.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/grid3_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pacman/CMakeFiles/grid3_pacman.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/grid3_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/vo/CMakeFiles/grid3_vo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/grid3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/grid3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grid3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_atlas_failures.dir/sec61_atlas_failures.cpp.o"
+  "CMakeFiles/sec61_atlas_failures.dir/sec61_atlas_failures.cpp.o.d"
+  "sec61_atlas_failures"
+  "sec61_atlas_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_atlas_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_cms_production.dir/sec62_cms_production.cpp.o"
+  "CMakeFiles/sec62_cms_production.dir/sec62_cms_production.cpp.o.d"
+  "sec62_cms_production"
+  "sec62_cms_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_cms_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec62_cms_production.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_gridftp_demo.dir/sec63_gridftp_demo.cpp.o"
+  "CMakeFiles/sec63_gridftp_demo.dir/sec63_gridftp_demo.cpp.o.d"
+  "sec63_gridftp_demo"
+  "sec63_gridftp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_gridftp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

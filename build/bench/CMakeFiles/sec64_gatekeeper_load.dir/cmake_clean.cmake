@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_gatekeeper_load.dir/sec64_gatekeeper_load.cpp.o"
+  "CMakeFiles/sec64_gatekeeper_load.dir/sec64_gatekeeper_load.cpp.o.d"
+  "sec64_gatekeeper_load"
+  "sec64_gatekeeper_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_gatekeeper_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec64_gatekeeper_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_milestones.dir/sec7_milestones.cpp.o"
+  "CMakeFiles/sec7_milestones.dir/sec7_milestones.cpp.o.d"
+  "sec7_milestones"
+  "sec7_milestones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_milestones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

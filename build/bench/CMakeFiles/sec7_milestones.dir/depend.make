@@ -1,0 +1,2 @@
+# Empty dependencies file for sec7_milestones.
+# This may be replaced when dependencies are built.

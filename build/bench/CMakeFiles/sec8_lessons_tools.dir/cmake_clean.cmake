@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8_lessons_tools.dir/sec8_lessons_tools.cpp.o"
+  "CMakeFiles/sec8_lessons_tools.dir/sec8_lessons_tools.cpp.o.d"
+  "sec8_lessons_tools"
+  "sec8_lessons_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_lessons_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

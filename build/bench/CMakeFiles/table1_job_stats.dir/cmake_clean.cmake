@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_job_stats.dir/table1_job_stats.cpp.o"
+  "CMakeFiles/table1_job_stats.dir/table1_job_stats.cpp.o.d"
+  "table1_job_stats"
+  "table1_job_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_job_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

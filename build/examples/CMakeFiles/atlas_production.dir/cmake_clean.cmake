@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_production.dir/atlas_production.cpp.o"
+  "CMakeFiles/atlas_production.dir/atlas_production.cpp.o.d"
+  "atlas_production"
+  "atlas_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cms_mop_production.dir/cms_mop_production.cpp.o"
+  "CMakeFiles/cms_mop_production.dir/cms_mop_production.cpp.o.d"
+  "cms_mop_production"
+  "cms_mop_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cms_mop_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

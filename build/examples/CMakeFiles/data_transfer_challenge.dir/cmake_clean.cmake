@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_transfer_challenge.dir/data_transfer_challenge.cpp.o"
+  "CMakeFiles/data_transfer_challenge.dir/data_transfer_challenge.cpp.o.d"
+  "data_transfer_challenge"
+  "data_transfer_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_transfer_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc2003_demo.dir/sc2003_demo.cpp.o"
+  "CMakeFiles/sc2003_demo.dir/sc2003_demo.cpp.o.d"
+  "sc2003_demo"
+  "sc2003_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc2003_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

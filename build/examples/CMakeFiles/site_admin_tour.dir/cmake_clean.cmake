@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_admin_tour.dir/site_admin_tour.cpp.o"
+  "CMakeFiles/site_admin_tour.dir/site_admin_tour.cpp.o.d"
+  "site_admin_tour"
+  "site_admin_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_admin_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("vo")
+subdirs("mds")
+subdirs("pacman")
+subdirs("batch")
+subdirs("gram")
+subdirs("gridftp")
+subdirs("rls")
+subdirs("srm")
+subdirs("monitoring")
+subdirs("workflow")
+subdirs("apps")
+subdirs("core")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_apps.dir/appbase.cpp.o"
+  "CMakeFiles/grid3_apps.dir/appbase.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/atlas.cpp.o"
+  "CMakeFiles/grid3_apps.dir/atlas.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/btev.cpp.o"
+  "CMakeFiles/grid3_apps.dir/btev.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/cms.cpp.o"
+  "CMakeFiles/grid3_apps.dir/cms.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/dial.cpp.o"
+  "CMakeFiles/grid3_apps.dir/dial.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/entrada.cpp.o"
+  "CMakeFiles/grid3_apps.dir/entrada.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/exerciser.cpp.o"
+  "CMakeFiles/grid3_apps.dir/exerciser.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/ivdgl.cpp.o"
+  "CMakeFiles/grid3_apps.dir/ivdgl.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/launcher.cpp.o"
+  "CMakeFiles/grid3_apps.dir/launcher.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/ligo.cpp.o"
+  "CMakeFiles/grid3_apps.dir/ligo.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/scenario.cpp.o"
+  "CMakeFiles/grid3_apps.dir/scenario.cpp.o.d"
+  "CMakeFiles/grid3_apps.dir/sdss.cpp.o"
+  "CMakeFiles/grid3_apps.dir/sdss.cpp.o.d"
+  "libgrid3_apps.a"
+  "libgrid3_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

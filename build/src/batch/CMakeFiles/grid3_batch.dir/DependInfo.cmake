@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batch/condor.cpp" "src/batch/CMakeFiles/grid3_batch.dir/condor.cpp.o" "gcc" "src/batch/CMakeFiles/grid3_batch.dir/condor.cpp.o.d"
+  "/root/repo/src/batch/lsf.cpp" "src/batch/CMakeFiles/grid3_batch.dir/lsf.cpp.o" "gcc" "src/batch/CMakeFiles/grid3_batch.dir/lsf.cpp.o.d"
+  "/root/repo/src/batch/pbs.cpp" "src/batch/CMakeFiles/grid3_batch.dir/pbs.cpp.o" "gcc" "src/batch/CMakeFiles/grid3_batch.dir/pbs.cpp.o.d"
+  "/root/repo/src/batch/scheduler.cpp" "src/batch/CMakeFiles/grid3_batch.dir/scheduler.cpp.o" "gcc" "src/batch/CMakeFiles/grid3_batch.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/grid3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grid3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

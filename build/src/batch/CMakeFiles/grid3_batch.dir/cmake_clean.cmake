@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_batch.dir/condor.cpp.o"
+  "CMakeFiles/grid3_batch.dir/condor.cpp.o.d"
+  "CMakeFiles/grid3_batch.dir/lsf.cpp.o"
+  "CMakeFiles/grid3_batch.dir/lsf.cpp.o.d"
+  "CMakeFiles/grid3_batch.dir/pbs.cpp.o"
+  "CMakeFiles/grid3_batch.dir/pbs.cpp.o.d"
+  "CMakeFiles/grid3_batch.dir/scheduler.cpp.o"
+  "CMakeFiles/grid3_batch.dir/scheduler.cpp.o.d"
+  "libgrid3_batch.a"
+  "libgrid3_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

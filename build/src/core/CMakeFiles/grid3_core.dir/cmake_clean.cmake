@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_core.dir/failure.cpp.o"
+  "CMakeFiles/grid3_core.dir/failure.cpp.o.d"
+  "CMakeFiles/grid3_core.dir/grid3.cpp.o"
+  "CMakeFiles/grid3_core.dir/grid3.cpp.o.d"
+  "CMakeFiles/grid3_core.dir/igoc.cpp.o"
+  "CMakeFiles/grid3_core.dir/igoc.cpp.o.d"
+  "CMakeFiles/grid3_core.dir/metrics.cpp.o"
+  "CMakeFiles/grid3_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/grid3_core.dir/policy_audit.cpp.o"
+  "CMakeFiles/grid3_core.dir/policy_audit.cpp.o.d"
+  "CMakeFiles/grid3_core.dir/roster.cpp.o"
+  "CMakeFiles/grid3_core.dir/roster.cpp.o.d"
+  "CMakeFiles/grid3_core.dir/site.cpp.o"
+  "CMakeFiles/grid3_core.dir/site.cpp.o.d"
+  "libgrid3_core.a"
+  "libgrid3_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gram/condor_g.cpp" "src/gram/CMakeFiles/grid3_gram.dir/condor_g.cpp.o" "gcc" "src/gram/CMakeFiles/grid3_gram.dir/condor_g.cpp.o.d"
+  "/root/repo/src/gram/gatekeeper.cpp" "src/gram/CMakeFiles/grid3_gram.dir/gatekeeper.cpp.o" "gcc" "src/gram/CMakeFiles/grid3_gram.dir/gatekeeper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/batch/CMakeFiles/grid3_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/grid3_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/grid3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/srm/CMakeFiles/grid3_srm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vo/CMakeFiles/grid3_vo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/grid3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grid3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_gram.dir/condor_g.cpp.o"
+  "CMakeFiles/grid3_gram.dir/condor_g.cpp.o.d"
+  "CMakeFiles/grid3_gram.dir/gatekeeper.cpp.o"
+  "CMakeFiles/grid3_gram.dir/gatekeeper.cpp.o.d"
+  "libgrid3_gram.a"
+  "libgrid3_gram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_gram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

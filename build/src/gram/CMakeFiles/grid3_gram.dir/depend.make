@@ -1,0 +1,2 @@
+# Empty dependencies file for grid3_gram.
+# This may be replaced when dependencies are built.

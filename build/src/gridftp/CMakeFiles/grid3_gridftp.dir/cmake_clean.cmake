@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_gridftp.dir/gridftp.cpp.o"
+  "CMakeFiles/grid3_gridftp.dir/gridftp.cpp.o.d"
+  "CMakeFiles/grid3_gridftp.dir/netlogger.cpp.o"
+  "CMakeFiles/grid3_gridftp.dir/netlogger.cpp.o.d"
+  "libgrid3_gridftp.a"
+  "libgrid3_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mds/giis.cpp" "src/mds/CMakeFiles/grid3_mds.dir/giis.cpp.o" "gcc" "src/mds/CMakeFiles/grid3_mds.dir/giis.cpp.o.d"
+  "/root/repo/src/mds/gris.cpp" "src/mds/CMakeFiles/grid3_mds.dir/gris.cpp.o" "gcc" "src/mds/CMakeFiles/grid3_mds.dir/gris.cpp.o.d"
+  "/root/repo/src/mds/schema.cpp" "src/mds/CMakeFiles/grid3_mds.dir/schema.cpp.o" "gcc" "src/mds/CMakeFiles/grid3_mds.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grid3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

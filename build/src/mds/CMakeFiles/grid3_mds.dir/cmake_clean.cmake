@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_mds.dir/giis.cpp.o"
+  "CMakeFiles/grid3_mds.dir/giis.cpp.o.d"
+  "CMakeFiles/grid3_mds.dir/gris.cpp.o"
+  "CMakeFiles/grid3_mds.dir/gris.cpp.o.d"
+  "CMakeFiles/grid3_mds.dir/schema.cpp.o"
+  "CMakeFiles/grid3_mds.dir/schema.cpp.o.d"
+  "libgrid3_mds.a"
+  "libgrid3_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

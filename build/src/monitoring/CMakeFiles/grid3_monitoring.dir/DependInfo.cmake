@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitoring/acdc.cpp" "src/monitoring/CMakeFiles/grid3_monitoring.dir/acdc.cpp.o" "gcc" "src/monitoring/CMakeFiles/grid3_monitoring.dir/acdc.cpp.o.d"
+  "/root/repo/src/monitoring/bus.cpp" "src/monitoring/CMakeFiles/grid3_monitoring.dir/bus.cpp.o" "gcc" "src/monitoring/CMakeFiles/grid3_monitoring.dir/bus.cpp.o.d"
+  "/root/repo/src/monitoring/ganglia.cpp" "src/monitoring/CMakeFiles/grid3_monitoring.dir/ganglia.cpp.o" "gcc" "src/monitoring/CMakeFiles/grid3_monitoring.dir/ganglia.cpp.o.d"
+  "/root/repo/src/monitoring/mdviewer.cpp" "src/monitoring/CMakeFiles/grid3_monitoring.dir/mdviewer.cpp.o" "gcc" "src/monitoring/CMakeFiles/grid3_monitoring.dir/mdviewer.cpp.o.d"
+  "/root/repo/src/monitoring/monalisa.cpp" "src/monitoring/CMakeFiles/grid3_monitoring.dir/monalisa.cpp.o" "gcc" "src/monitoring/CMakeFiles/grid3_monitoring.dir/monalisa.cpp.o.d"
+  "/root/repo/src/monitoring/site_catalog.cpp" "src/monitoring/CMakeFiles/grid3_monitoring.dir/site_catalog.cpp.o" "gcc" "src/monitoring/CMakeFiles/grid3_monitoring.dir/site_catalog.cpp.o.d"
+  "/root/repo/src/monitoring/troubleshoot.cpp" "src/monitoring/CMakeFiles/grid3_monitoring.dir/troubleshoot.cpp.o" "gcc" "src/monitoring/CMakeFiles/grid3_monitoring.dir/troubleshoot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/grid3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grid3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

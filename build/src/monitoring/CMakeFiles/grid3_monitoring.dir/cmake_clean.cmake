@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_monitoring.dir/acdc.cpp.o"
+  "CMakeFiles/grid3_monitoring.dir/acdc.cpp.o.d"
+  "CMakeFiles/grid3_monitoring.dir/bus.cpp.o"
+  "CMakeFiles/grid3_monitoring.dir/bus.cpp.o.d"
+  "CMakeFiles/grid3_monitoring.dir/ganglia.cpp.o"
+  "CMakeFiles/grid3_monitoring.dir/ganglia.cpp.o.d"
+  "CMakeFiles/grid3_monitoring.dir/mdviewer.cpp.o"
+  "CMakeFiles/grid3_monitoring.dir/mdviewer.cpp.o.d"
+  "CMakeFiles/grid3_monitoring.dir/monalisa.cpp.o"
+  "CMakeFiles/grid3_monitoring.dir/monalisa.cpp.o.d"
+  "CMakeFiles/grid3_monitoring.dir/site_catalog.cpp.o"
+  "CMakeFiles/grid3_monitoring.dir/site_catalog.cpp.o.d"
+  "CMakeFiles/grid3_monitoring.dir/troubleshoot.cpp.o"
+  "CMakeFiles/grid3_monitoring.dir/troubleshoot.cpp.o.d"
+  "libgrid3_monitoring.a"
+  "libgrid3_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

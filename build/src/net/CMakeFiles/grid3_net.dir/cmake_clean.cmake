@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_net.dir/network.cpp.o"
+  "CMakeFiles/grid3_net.dir/network.cpp.o.d"
+  "libgrid3_net.a"
+  "libgrid3_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

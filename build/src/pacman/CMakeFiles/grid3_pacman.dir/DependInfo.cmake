@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pacman/installer.cpp" "src/pacman/CMakeFiles/grid3_pacman.dir/installer.cpp.o" "gcc" "src/pacman/CMakeFiles/grid3_pacman.dir/installer.cpp.o.d"
+  "/root/repo/src/pacman/package.cpp" "src/pacman/CMakeFiles/grid3_pacman.dir/package.cpp.o" "gcc" "src/pacman/CMakeFiles/grid3_pacman.dir/package.cpp.o.d"
+  "/root/repo/src/pacman/vdt.cpp" "src/pacman/CMakeFiles/grid3_pacman.dir/vdt.cpp.o" "gcc" "src/pacman/CMakeFiles/grid3_pacman.dir/vdt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mds/CMakeFiles/grid3_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grid3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

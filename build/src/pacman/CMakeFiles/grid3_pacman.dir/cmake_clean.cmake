@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_pacman.dir/installer.cpp.o"
+  "CMakeFiles/grid3_pacman.dir/installer.cpp.o.d"
+  "CMakeFiles/grid3_pacman.dir/package.cpp.o"
+  "CMakeFiles/grid3_pacman.dir/package.cpp.o.d"
+  "CMakeFiles/grid3_pacman.dir/vdt.cpp.o"
+  "CMakeFiles/grid3_pacman.dir/vdt.cpp.o.d"
+  "libgrid3_pacman.a"
+  "libgrid3_pacman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_pacman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrid3_pacman.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_rls.dir/rls.cpp.o"
+  "CMakeFiles/grid3_rls.dir/rls.cpp.o.d"
+  "libgrid3_rls.a"
+  "libgrid3_rls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_rls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

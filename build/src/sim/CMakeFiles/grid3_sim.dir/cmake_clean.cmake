@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_sim.dir/simulation.cpp.o"
+  "CMakeFiles/grid3_sim.dir/simulation.cpp.o.d"
+  "libgrid3_sim.a"
+  "libgrid3_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

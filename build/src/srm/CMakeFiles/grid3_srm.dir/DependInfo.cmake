@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/srm/dcache.cpp" "src/srm/CMakeFiles/grid3_srm.dir/dcache.cpp.o" "gcc" "src/srm/CMakeFiles/grid3_srm.dir/dcache.cpp.o.d"
+  "/root/repo/src/srm/disk.cpp" "src/srm/CMakeFiles/grid3_srm.dir/disk.cpp.o" "gcc" "src/srm/CMakeFiles/grid3_srm.dir/disk.cpp.o.d"
+  "/root/repo/src/srm/srm.cpp" "src/srm/CMakeFiles/grid3_srm.dir/srm.cpp.o" "gcc" "src/srm/CMakeFiles/grid3_srm.dir/srm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grid3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_srm.dir/dcache.cpp.o"
+  "CMakeFiles/grid3_srm.dir/dcache.cpp.o.d"
+  "CMakeFiles/grid3_srm.dir/disk.cpp.o"
+  "CMakeFiles/grid3_srm.dir/disk.cpp.o.d"
+  "CMakeFiles/grid3_srm.dir/srm.cpp.o"
+  "CMakeFiles/grid3_srm.dir/srm.cpp.o.d"
+  "libgrid3_srm.a"
+  "libgrid3_srm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_srm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

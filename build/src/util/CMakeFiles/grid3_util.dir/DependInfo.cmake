@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/calendar.cpp" "src/util/CMakeFiles/grid3_util.dir/calendar.cpp.o" "gcc" "src/util/CMakeFiles/grid3_util.dir/calendar.cpp.o.d"
+  "/root/repo/src/util/distributions.cpp" "src/util/CMakeFiles/grid3_util.dir/distributions.cpp.o" "gcc" "src/util/CMakeFiles/grid3_util.dir/distributions.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/grid3_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/grid3_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/grid3_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/grid3_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/rrd.cpp" "src/util/CMakeFiles/grid3_util.dir/rrd.cpp.o" "gcc" "src/util/CMakeFiles/grid3_util.dir/rrd.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/grid3_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/grid3_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/grid3_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/grid3_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/timeseries.cpp" "src/util/CMakeFiles/grid3_util.dir/timeseries.cpp.o" "gcc" "src/util/CMakeFiles/grid3_util.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_util.dir/calendar.cpp.o"
+  "CMakeFiles/grid3_util.dir/calendar.cpp.o.d"
+  "CMakeFiles/grid3_util.dir/distributions.cpp.o"
+  "CMakeFiles/grid3_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/grid3_util.dir/log.cpp.o"
+  "CMakeFiles/grid3_util.dir/log.cpp.o.d"
+  "CMakeFiles/grid3_util.dir/rng.cpp.o"
+  "CMakeFiles/grid3_util.dir/rng.cpp.o.d"
+  "CMakeFiles/grid3_util.dir/rrd.cpp.o"
+  "CMakeFiles/grid3_util.dir/rrd.cpp.o.d"
+  "CMakeFiles/grid3_util.dir/stats.cpp.o"
+  "CMakeFiles/grid3_util.dir/stats.cpp.o.d"
+  "CMakeFiles/grid3_util.dir/table.cpp.o"
+  "CMakeFiles/grid3_util.dir/table.cpp.o.d"
+  "CMakeFiles/grid3_util.dir/timeseries.cpp.o"
+  "CMakeFiles/grid3_util.dir/timeseries.cpp.o.d"
+  "libgrid3_util.a"
+  "libgrid3_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

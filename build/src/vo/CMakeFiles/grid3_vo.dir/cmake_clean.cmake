@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_vo.dir/gridmap.cpp.o"
+  "CMakeFiles/grid3_vo.dir/gridmap.cpp.o.d"
+  "CMakeFiles/grid3_vo.dir/voms.cpp.o"
+  "CMakeFiles/grid3_vo.dir/voms.cpp.o.d"
+  "libgrid3_vo.a"
+  "libgrid3_vo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_vo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid3_workflow.dir/dag.cpp.o"
+  "CMakeFiles/grid3_workflow.dir/dag.cpp.o.d"
+  "CMakeFiles/grid3_workflow.dir/dagman.cpp.o"
+  "CMakeFiles/grid3_workflow.dir/dagman.cpp.o.d"
+  "CMakeFiles/grid3_workflow.dir/planner.cpp.o"
+  "CMakeFiles/grid3_workflow.dir/planner.cpp.o.d"
+  "CMakeFiles/grid3_workflow.dir/vdc.cpp.o"
+  "CMakeFiles/grid3_workflow.dir/vdc.cpp.o.d"
+  "libgrid3_workflow.a"
+  "libgrid3_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid3_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavior_test.dir/behavior_test.cpp.o"
+  "CMakeFiles/behavior_test.dir/behavior_test.cpp.o.d"
+  "behavior_test"
+  "behavior_test.pdb"
+  "behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_test.dir/extended_test.cpp.o"
+  "CMakeFiles/extended_test.dir/extended_test.cpp.o.d"
+  "extended_test"
+  "extended_test.pdb"
+  "extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

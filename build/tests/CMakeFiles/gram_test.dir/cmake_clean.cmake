@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gram_test.dir/gram_test.cpp.o"
+  "CMakeFiles/gram_test.dir/gram_test.cpp.o.d"
+  "gram_test"
+  "gram_test.pdb"
+  "gram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

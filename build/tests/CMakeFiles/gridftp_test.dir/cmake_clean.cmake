@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridftp_test.dir/gridftp_test.cpp.o"
+  "CMakeFiles/gridftp_test.dir/gridftp_test.cpp.o.d"
+  "gridftp_test"
+  "gridftp_test.pdb"
+  "gridftp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridftp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_test.dir/mds_test.cpp.o"
+  "CMakeFiles/mds_test.dir/mds_test.cpp.o.d"
+  "mds_test"
+  "mds_test.pdb"
+  "mds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

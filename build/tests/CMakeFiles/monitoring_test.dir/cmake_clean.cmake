@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_test.dir/monitoring_test.cpp.o"
+  "CMakeFiles/monitoring_test.dir/monitoring_test.cpp.o.d"
+  "monitoring_test"
+  "monitoring_test.pdb"
+  "monitoring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacman_test.dir/pacman_test.cpp.o"
+  "CMakeFiles/pacman_test.dir/pacman_test.cpp.o.d"
+  "pacman_test"
+  "pacman_test.pdb"
+  "pacman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_audit_test.dir/policy_audit_test.cpp.o"
+  "CMakeFiles/policy_audit_test.dir/policy_audit_test.cpp.o.d"
+  "policy_audit_test"
+  "policy_audit_test.pdb"
+  "policy_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

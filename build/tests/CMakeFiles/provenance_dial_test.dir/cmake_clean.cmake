@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_dial_test.dir/provenance_dial_test.cpp.o"
+  "CMakeFiles/provenance_dial_test.dir/provenance_dial_test.cpp.o.d"
+  "provenance_dial_test"
+  "provenance_dial_test.pdb"
+  "provenance_dial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_dial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_test.dir/rls_test.cpp.o"
+  "CMakeFiles/rls_test.dir/rls_test.cpp.o.d"
+  "rls_test"
+  "rls_test.pdb"
+  "rls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_test.dir/srm_test.cpp.o"
+  "CMakeFiles/srm_test.dir/srm_test.cpp.o.d"
+  "srm_test"
+  "srm_test.pdb"
+  "srm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troubleshoot_test.dir/troubleshoot_test.cpp.o"
+  "CMakeFiles/troubleshoot_test.dir/troubleshoot_test.cpp.o.d"
+  "troubleshoot_test"
+  "troubleshoot_test.pdb"
+  "troubleshoot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troubleshoot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vo_test.dir/vo_test.cpp.o"
+  "CMakeFiles/vo_test.dir/vo_test.cpp.o.d"
+  "vo_test"
+  "vo_test.pdb"
+  "vo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_test.dir/workflow_test.cpp.o"
+  "CMakeFiles/workflow_test.dir/workflow_test.cpp.o.d"
+  "workflow_test"
+  "workflow_test.pdb"
+  "workflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/vo_test[1]_include.cmake")
+include("/root/repo/build/tests/mds_test[1]_include.cmake")
+include("/root/repo/build/tests/pacman_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_test[1]_include.cmake")
+include("/root/repo/build/tests/srm_test[1]_include.cmake")
+include("/root/repo/build/tests/dcache_test[1]_include.cmake")
+include("/root/repo/build/tests/gridftp_test[1]_include.cmake")
+include("/root/repo/build/tests/rls_test[1]_include.cmake")
+include("/root/repo/build/tests/gram_test[1]_include.cmake")
+include("/root/repo/build/tests/monitoring_test[1]_include.cmake")
+include("/root/repo/build/tests/troubleshoot_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_audit_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_test[1]_include.cmake")
+include("/root/repo/build/tests/provenance_dial_test[1]_include.cmake")
+include("/root/repo/build/tests/behavior_test[1]_include.cmake")
