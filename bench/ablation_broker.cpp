@@ -1,0 +1,166 @@
+// Ablation D: resource-brokered placement vs the paper's favorite-sites
+// status quo (section 6.4 lists overloaded gatekeepers among the top
+// failure sources; section 8 names grid-level scheduling as the missing
+// piece).  One binary replays the same multi-VO scenario under each
+// placement mode and compares completion rate, failure mix, per-site CPU
+// spread, and peak gatekeeper one-minute load.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "broker/rank_policy.h"
+#include "gram/gatekeeper.h"
+#include "monitoring/acdc.h"
+
+namespace {
+
+using namespace grid3;
+
+struct Outcome {
+  std::size_t jobs = 0;
+  double completion = 0.0;        // completed / accounted jobs
+  std::size_t overload = 0;       // kGatekeeperOverloaded failures
+  std::size_t gk_down = 0;        // kGatekeeperDown failures
+  std::size_t other_failed = 0;
+  double cpu_spread = 0.0;        // max/median per-site CPU-days
+  double peak_gk_load = 0.0;      // max over sites, lifetime
+  std::uint64_t matches = 0;
+  std::uint64_t rebinds = 0;
+  std::uint64_t holds = 0;
+};
+
+Outcome run_mode(broker::PolicyKind kind, int months) {
+  sim::Simulation sim;
+  apps::ScenarioOptions opts;
+  opts.months = months;
+  opts.job_scale = bench::job_scale();
+  opts.cpu_scale = bench::cpu_scale();
+  opts.seed = bench::seed();
+  opts.broker_policy = kind;
+  std::cout << "[mode " << broker::to_string(kind) << "] running ... "
+            << std::flush;
+  apps::Scenario scenario{sim, opts};
+  scenario.run();
+
+  Outcome out;
+  auto& grid = scenario.grid();
+  const auto& db = grid.igoc().job_db();
+  const auto fs = db.failures("", Time::zero(), sim.now());
+  out.jobs = fs.total;
+  out.completion =
+      fs.total > 0
+          ? static_cast<double>(fs.total - fs.failed) /
+                static_cast<double>(fs.total)
+          : 0.0;
+  for (const auto& [cls, n] : fs.by_class) {
+    if (cls == gram::to_string(gram::GramStatus::kGatekeeperOverloaded)) {
+      out.overload += n;
+    } else if (cls == gram::to_string(gram::GramStatus::kGatekeeperDown)) {
+      out.gk_down += n;
+    } else {
+      out.other_failed += n;
+    }
+  }
+
+  // Per-site CPU-days across all VOs: how evenly the work spread.
+  std::map<std::string, double> cpu_days;
+  for (const auto& r : db.records()) {
+    if (!r.success) continue;
+    cpu_days[r.site] += r.runtime().to_days();
+  }
+  std::vector<double> days;
+  for (const auto& [site, d] : cpu_days) days.push_back(d);
+  if (!days.empty()) {
+    std::sort(days.begin(), days.end());
+    const double median = days[days.size() / 2];
+    out.cpu_spread = median > 0.0 ? days.back() / median : 0.0;
+  }
+
+  for (const auto& site : grid.sites()) {
+    out.peak_gk_load = std::max(
+        out.peak_gk_load, site->gatekeeper().peak_one_minute_load());
+  }
+  for (const std::string& vo : core::canonical_vos()) {
+    if (const broker::ResourceBroker* b = grid.broker(vo)) {
+      out.matches += b->matches();
+      out.rebinds += b->rebinds();
+      out.holds += b->holds();
+    }
+  }
+  std::cout << "done (" << sim.executed() << " events, " << out.jobs
+            << " jobs)\n";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using grid3::util::AsciiTable;
+  grid3::bench::header(
+      "Ablation D: resource broker vs favorite-sites placement",
+      "sections 6.4 + 8: gatekeeper overload, grid-level scheduling");
+
+  // Two months covers the SC2003 demo burst -- the gatekeeper stress the
+  // broker's throttle is meant to absorb.
+  const int months = 2;
+  const std::vector<grid3::broker::PolicyKind> modes = {
+      grid3::broker::PolicyKind::kNone,
+      grid3::broker::PolicyKind::kFavoriteSites,
+      grid3::broker::PolicyKind::kQueueDepth,
+      grid3::broker::PolicyKind::kDataLocality,
+      grid3::broker::PolicyKind::kLoadShedding,
+  };
+
+  AsciiTable table{{"placement", "jobs", "completion", "overload", "gk-down",
+                    "other-fail", "site CPU max/med", "peak gk load",
+                    "matches", "rebinds", "holds"}};
+  std::map<grid3::broker::PolicyKind, Outcome> results;
+  for (const auto kind : modes) {
+    const Outcome out = run_mode(kind, months);
+    results[kind] = out;
+    const std::string label =
+        kind == grid3::broker::PolicyKind::kNone
+            ? "favorite-sites (no broker)"
+            : std::string{"broker:"} + grid3::broker::to_string(kind);
+    table.add_row({label, AsciiTable::integer(static_cast<long>(out.jobs)),
+                   AsciiTable::percent(out.completion),
+                   AsciiTable::integer(static_cast<long>(out.overload)),
+                   AsciiTable::integer(static_cast<long>(out.gk_down)),
+                   AsciiTable::integer(static_cast<long>(out.other_failed)),
+                   AsciiTable::num(out.cpu_spread, 2),
+                   AsciiTable::num(out.peak_gk_load, 1),
+                   AsciiTable::integer(static_cast<long>(out.matches)),
+                   AsciiTable::integer(static_cast<long>(out.rebinds)),
+                   AsciiTable::integer(static_cast<long>(out.holds))});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  const Outcome& base = results[grid3::broker::PolicyKind::kNone];
+  const Outcome& qd = results[grid3::broker::PolicyKind::kQueueDepth];
+  const bool lower_peak = qd.peak_gk_load < base.peak_gk_load;
+  const bool no_worse_completion = qd.completion >= base.completion;
+  std::cout << "\nacceptance: queue-depth peak gatekeeper load "
+            << AsciiTable::num(qd.peak_gk_load, 1) << " vs baseline "
+            << AsciiTable::num(base.peak_gk_load, 1) << " -> "
+            << (lower_peak ? "LOWER" : "NOT LOWER")
+            << "; completion " << AsciiTable::percent(qd.completion)
+            << " vs " << AsciiTable::percent(base.completion) << " -> "
+            << (no_worse_completion ? "NO WORSE" : "WORSE") << '\n';
+  std::cout
+      << "\nreading: without a broker, Condor-G pushes jobs at whatever "
+         "gatekeeper the plan named, even one that is down or past the "
+         "section 6.4 knee, and the attempt is charged as a failure.  "
+         "Every brokered policy throttles submissions below the knee "
+         "(lower peak load) and re-matches around dead gatekeepers "
+         "(fewer gk-down failures, higher completion).  Ranking by live "
+         "queue depth chases the largest free CPU pools, so work "
+         "concentrates on the biggest sites (high max/median CPU "
+         "spread); the brokered favorite-sites policy keeps each VO's "
+         "static spread while still shedding load.\n";
+  grid3::bench::scale_note();
+  return (lower_peak && no_worse_completion) ? 0 : 1;
+}

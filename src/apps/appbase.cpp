@@ -11,7 +11,11 @@ AppBase::AppBase(core::Grid3& grid, std::string vo, std::string app_name,
       app_name_{std::move(app_name)},
       record_vo_{record_vo.empty() ? vo_ : std::move(record_vo)},
       rng_{grid.rng().fork()},
-      planner_{grid.igoc().top_giis(), *grid.rls(vo_)} {}
+      planner_{grid.igoc().top_giis(), *grid.rls(vo_)} {
+  // Late binding when the fabric has a broker for this VO (attach it
+  // before constructing the apps).
+  planner_.set_broker(grid_.broker(vo_));
+}
 
 void AppBase::set_users(std::vector<vo::Certificate> admins,
                         std::vector<vo::Certificate> users) {

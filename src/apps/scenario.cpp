@@ -46,6 +46,14 @@ Scenario::Scenario(sim::Simulation& sim, ScenarioOptions opts)
   ao.cpu_scale = opts.cpu_scale;
   assembled_ = core::assemble_grid3(*grid_, ao);
 
+  // Brokers must exist before the apps: each AppBase binds its planner
+  // to its VO's broker at construction.
+  if (opts.broker_policy != broker::PolicyKind::kNone) {
+    for (const std::string& vo : core::canonical_vos()) {
+      grid_->attach_broker(vo, opts.broker_policy);
+    }
+  }
+
   AtlasGce::Options atlas_opts;
   atlas_opts.job_scale = opts.job_scale;
   atlas_opts.months = opts.months;

@@ -15,6 +15,7 @@
 #include "apps/ivdgl.h"
 #include "apps/ligo.h"
 #include "apps/sdss.h"
+#include "broker/rank_policy.h"
 #include "core/grid3.h"
 #include "core/roster.h"
 #include "monitoring/mdviewer.h"
@@ -31,6 +32,10 @@ struct ScenarioOptions {
   /// Shared sites introduce and withdraw worker nodes over time (the
   /// section 7 CPU-count fluctuation); dedicated sites stay fixed.
   bool resource_fluctuation = true;
+  /// kNone = the paper's status quo (planner-side favorite sites, no
+  /// broker).  Anything else attaches a per-VO resource broker with that
+  /// ranking policy before the application drivers are built.
+  broker::PolicyKind broker_policy = broker::PolicyKind::kNone;
 };
 
 struct Window {

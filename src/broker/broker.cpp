@@ -1,0 +1,364 @@
+#include "broker/broker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mds/schema.h"
+
+namespace grid3::broker {
+
+ResourceBroker::ResourceBroker(sim::Simulation& sim, BrokerConfig cfg,
+                               std::unique_ptr<RankPolicy> policy,
+                               const mds::Giis& giis,
+                               const monitoring::MonalisaRepository* monitor,
+                               GatekeeperDirectory& gatekeepers,
+                               gram::CondorG& condor_g,
+                               monitoring::JobDatabase* accounting)
+    : sim_{sim},
+      cfg_{cfg},
+      policy_{std::move(policy)},
+      giis_{giis},
+      monitor_{monitor},
+      gatekeepers_{gatekeepers},
+      condor_g_{condor_g},
+      accounting_{accounting},
+      rng_{cfg.rng_seed} {}
+
+const std::vector<SiteView>& ResourceBroker::view(Time now) {
+  if (!view_valid_ || now - view_refreshed_ >= cfg_.view_ttl) {
+    refresh_view(now);
+  }
+  return view_;
+}
+
+void ResourceBroker::refresh_view(Time now) {
+  view_.clear();
+  auto snaps = giis_.find(
+      [](const mds::SiteSnapshot&) { return true; }, now);
+  view_.reserve(snaps.size());
+  for (auto& snap : snaps) {
+    SiteView v;
+    v.site = snap.site;
+    v.fresh = snap.fresh;
+    v.total_cpus = static_cast<int>(
+        snap.get_int(mds::glue::kTotalCpus).value_or(0));
+    v.free_cpus = static_cast<int>(
+        snap.get_int(mds::glue::kFreeCpus).value_or(0));
+    v.running_jobs = static_cast<int>(
+        snap.get_int(mds::glue::kRunningJobs).value_or(0));
+    v.waiting_jobs = static_cast<int>(
+        snap.get_int(mds::glue::kWaitingJobs).value_or(0));
+    if (auto limit = snap.get_int(mds::glue::kMaxWallClockMinutes);
+        limit.has_value()) {
+      v.max_walltime = Time::minutes(static_cast<double>(*limit));
+    }
+    v.outbound =
+        snap.get_bool(mds::grid3ext::kOutboundConnectivity).value_or(false);
+    if (auto se = snap.get(mds::glue::kSeAvailableGb); se.has_value()) {
+      if (const double* gb = std::get_if<double>(&*se)) v.se_free_gb = *gb;
+    }
+    if (monitor_ != nullptr) {
+      v.gatekeeper_load =
+          monitor_->read(v.site, monitoring::mlmetric::kGatekeeperLoad, now)
+              .value_or(0.0);
+    }
+    v.snapshot = std::move(snap);
+    view_.push_back(std::move(v));
+  }
+  std::sort(view_.begin(), view_.end(),
+            [](const SiteView& a, const SiteView& b) { return a.site < b.site; });
+  view_refreshed_ = now;
+  view_valid_ = true;
+}
+
+bool ResourceBroker::meets_requirements(const JobSpec& spec,
+                                        const SiteView& site) const {
+  if (!spec.required_app.empty() && !site.has_app(spec.required_app)) {
+    return false;
+  }
+  if (site.snapshot.get(mds::glue::kFreeCpus).has_value() &&
+      site.free_cpus < spec.min_free_cpus) {
+    return false;
+  }
+  const Time needed =
+      Time::seconds(spec.runtime.to_seconds() * spec.walltime_slack);
+  if (site.max_walltime < needed) return false;
+  if (spec.need_outbound && !site.outbound) return false;
+  return true;
+}
+
+std::vector<std::string> ResourceBroker::eligible(const JobSpec& spec,
+                                                  Time now) {
+  std::vector<std::string> out;
+  for (const SiteView& v : view(now)) {
+    if (meets_requirements(spec, v)) out.push_back(v.site);
+  }
+  return out;  // view_ is name-sorted
+}
+
+const SiteView* ResourceBroker::rank_and_pick(
+    const JobSpec& spec, const std::vector<const SiteView*>& sites, Time now,
+    double* chosen_score) {
+  if (sites.empty()) return nullptr;
+  std::vector<double> scores;
+  scores.reserve(sites.size());
+  for (const SiteView* s : sites) {
+    scores.push_back(policy_->score(spec, *s, now));
+  }
+  std::size_t pick = 0;
+  if (policy_->stochastic()) {
+    std::vector<double> weights = scores;
+    for (double& w : weights) w = std::max(w, 1e-9);
+    pick = rng_.weighted_index(weights);
+  } else {
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+      if (scores[i] > scores[pick]) pick = i;  // ties: first (name order)
+    }
+  }
+  if (chosen_score != nullptr) *chosen_score = scores[pick];
+  return sites[pick];
+}
+
+std::optional<std::string> ResourceBroker::choose(const JobSpec& spec,
+                                                  Time now) {
+  view(now);
+  std::vector<const SiteView*> pool;
+  if (spec.candidates.empty()) {
+    for (const SiteView& v : view_) {
+      if (meets_requirements(spec, v)) pool.push_back(&v);
+    }
+  } else {
+    for (const SiteView& v : view_) {
+      if (std::find(spec.candidates.begin(), spec.candidates.end(), v.site) !=
+          spec.candidates.end()) {
+        pool.push_back(&v);
+      }
+    }
+  }
+  const SiteView* picked = rank_and_pick(spec, pool, now, nullptr);
+  if (picked == nullptr) return std::nullopt;
+  return picked->site;
+}
+
+void ResourceBroker::submit(JobSpec spec, gram::GramJob job,
+                            BrokeredCallback done) {
+  ++submissions_;
+  auto p = std::make_shared<Pending>();
+  p->spec = std::move(spec);
+  p->job = std::move(job);
+  p->done = std::move(done);
+  p->created = sim_.now();
+  try_match(p);
+}
+
+double ResourceBroker::predicted_load(const SiteView& site) const {
+  auto it = inflight_.find(site.site);
+  const int inflight = it == inflight_.end() ? 0 : it->second;
+  return site.gatekeeper_load + cfg_.inflight_load_weight * inflight;
+}
+
+int ResourceBroker::inflight(const std::string& site) const {
+  auto it = inflight_.find(site);
+  return it == inflight_.end() ? 0 : it->second;
+}
+
+std::vector<const SiteView*> ResourceBroker::admissible(const Pending& p,
+                                                        Time now,
+                                                        bool* any_deferred) {
+  view(now);
+  std::vector<const SiteView*> out;
+  auto consider = [&](const SiteView& v) {
+    if (auto it = p.excluded_until.find(v.site);
+        it != p.excluded_until.end() && now < it->second) {
+      *any_deferred = true;
+      return;
+    }
+    if (inflight(v.site) >= cfg_.max_inflight_per_site ||
+        predicted_load(v) >= cfg_.load_ceiling) {
+      *any_deferred = true;
+      return;
+    }
+    if (gatekeepers_.gatekeeper(v.site) == nullptr) return;
+    out.push_back(&v);
+  };
+  if (p.spec.candidates.empty()) {
+    for (const SiteView& v : view_) {
+      if (meets_requirements(p.spec, v)) consider(v);
+    }
+  } else {
+    std::size_t found = 0;
+    for (const SiteView& v : view_) {
+      if (std::find(p.spec.candidates.begin(), p.spec.candidates.end(),
+                    v.site) != p.spec.candidates.end()) {
+        ++found;
+        consider(v);
+      }
+    }
+    // Candidates missing from the view (GRIS outage past TTL) may return;
+    // treat them as deferred rather than gone.
+    if (found < p.spec.candidates.size()) *any_deferred = true;
+  }
+  return out;
+}
+
+void ResourceBroker::record_match(const Pending& p, const SiteView& site,
+                                  double score, std::size_t pool_size) {
+  MatchDecision d;
+  d.seq = static_cast<std::uint64_t>(log_.size()) + 1;
+  d.at = sim_.now();
+  d.vo = p.spec.vo;
+  d.app = p.spec.app;
+  d.policy = policy_->name();
+  d.site = site.site;
+  d.candidates = pool_size;
+  d.rebind = p.rebinds;
+  d.score = score;
+  log_.push_back(d);
+  if (accounting_ != nullptr) {
+    accounting_->insert_match({d.seq, d.at, d.vo, d.app, d.policy, d.site,
+                               d.candidates, d.rebind, d.score});
+  }
+}
+
+void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
+  const Time now = sim_.now();
+  bool any_deferred = false;
+  const auto pool = admissible(*p, now, &any_deferred);
+
+  if (pool.empty()) {
+    if (any_deferred) {
+      if (now - p->created > cfg_.max_hold) {
+        // Saturated too long: surface as an overload, the failure class
+        // the broker exists to prevent.
+        BrokeredResult r;
+        r.matched = p->rebinds > 0;
+        r.rebinds = p->rebinds;
+        r.holds = p->holds;
+        r.gram = p->last;
+        r.gram.status = gram::GramStatus::kGatekeeperOverloaded;
+        r.gram.submitted = p->created;
+        r.gram.finished = now;
+        finish(p, std::move(r));
+        return;
+      }
+      hold(p);
+      return;
+    }
+    // No eligible site at all: permanent, the kNoEligibleSite analogue.
+    BrokeredResult r;
+    r.matched = false;
+    r.rebinds = p->rebinds;
+    r.holds = p->holds;
+    r.gram.status = gram::GramStatus::kSubmitRejected;
+    r.gram.submitted = p->created;
+    r.gram.finished = now;
+    finish(p, std::move(r));
+    return;
+  }
+
+  double score = 0.0;
+  const SiteView* picked = rank_and_pick(p->spec, pool, now, &score);
+  record_match(*p, *picked, score, pool.size());
+
+  p->bound_site = picked->site;
+  ++inflight_[picked->site];
+  gram::Gatekeeper* gk = gatekeepers_.gatekeeper(picked->site);
+  auto self = p;
+  condor_g_.submit_to(*gk, p->job, [this, self](const gram::GramResult& r) {
+    on_result(self, r);
+  });
+}
+
+void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
+                               const gram::GramResult& r) {
+  if (auto it = inflight_.find(p->bound_site); it != inflight_.end()) {
+    if (--it->second <= 0) inflight_.erase(it);
+  }
+  // A slot freed: give held jobs a prompt re-match.
+  if (!waiting_.empty() && !kick_scheduled_) {
+    kick_scheduled_ = true;
+    sim_.schedule_in(Time::seconds(1), [this] { kick_waiting(); });
+  }
+
+  if (r.ok() || !gram::is_transient(r.status)) {
+    BrokeredResult out;
+    out.gram = r;
+    out.site = p->bound_site;
+    out.rebinds = p->rebinds;
+    out.holds = p->holds;
+    out.matched = true;
+    finish(p, std::move(out));
+    return;
+  }
+
+  // Transient: cool the site off for this job and re-match elsewhere.
+  p->last = r;
+  p->excluded_until[p->bound_site] = sim_.now() + cfg_.failed_site_cooloff;
+  if (p->rebinds >= cfg_.max_rebinds) {
+    BrokeredResult out;
+    out.gram = r;
+    out.site = p->bound_site;
+    out.rebinds = p->rebinds;
+    out.holds = p->holds;
+    out.matched = true;
+    finish(p, std::move(out));
+    return;
+  }
+  ++p->rebinds;
+  ++rebinds_;
+  double backoff = cfg_.rebind_backoff.to_seconds();
+  for (int i = 1; i < p->rebinds; ++i) backoff *= cfg_.backoff_factor;
+  auto self = p;
+  sim_.schedule_in(Time::seconds(backoff), [this, self] { try_match(self); });
+}
+
+void ResourceBroker::hold(const std::shared_ptr<Pending>& p) {
+  ++p->holds;
+  ++holds_;
+  waiting_.push_back(p);
+  if (!kick_scheduled_) {
+    kick_scheduled_ = true;
+    sim_.schedule_in(cfg_.hold_retry, [this] { kick_waiting(); });
+  }
+}
+
+void ResourceBroker::kick_waiting() {
+  kick_scheduled_ = false;
+  std::deque<std::shared_ptr<Pending>> batch;
+  batch.swap(waiting_);
+  for (auto& p : batch) try_match(p);
+}
+
+void ResourceBroker::finish(const std::shared_ptr<Pending>& p,
+                            BrokeredResult result) {
+  if (p->done) {
+    auto done = std::move(p->done);
+    p->done = nullptr;
+    done(result);
+  }
+}
+
+std::string ResourceBroker::serialize_match_log() const {
+  std::string out;
+  out.reserve(log_.size() * 96);
+  char buf[64];
+  for (const MatchDecision& d : log_) {
+    out += std::to_string(d.seq);
+    std::snprintf(buf, sizeof(buf), "|t=%.3f", d.at.to_seconds());
+    out += buf;
+    out += '|';
+    out += d.vo;
+    out += '|';
+    out += d.app;
+    out += '|';
+    out += d.policy;
+    out += '|';
+    out += d.site;
+    std::snprintf(buf, sizeof(buf), "|pool=%zu|rebind=%d|score=%.6f\n",
+                  d.candidates, d.rebind, d.score);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace grid3::broker

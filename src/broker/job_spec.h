@@ -1,0 +1,46 @@
+// Broker-visible description of one grid job (the ClassAd-equivalent).
+//
+// Grid2003 ran with no grid-level scheduler: VOs pinned "favorite sites"
+// in their planner configurations (section 8 lists the resulting load
+// imbalance among the lessons learned).  The broker subsystem models the
+// EU-DataGrid-style Resource Broker the VOs were migrating toward; a
+// JobSpec carries exactly the information a submitter's JDL exposed:
+// eligibility requirements, data dependencies, and ranking hints.  It is
+// deliberately free of MDS/monitoring types so the workflow layer can
+// embed it in concrete-DAG nodes without widening its include surface.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace grid3::rls {
+class ReplicaLocationService;
+}  // namespace grid3::rls
+
+namespace grid3::broker {
+
+struct JobSpec {
+  std::string vo;
+  std::string app;           ///< accounting label (application name)
+  std::string required_app;  ///< MDS installed-application requirement
+  Time runtime;
+  double walltime_slack = 1.5;
+  int min_free_cpus = 1;
+  bool need_outbound = false;
+  /// Static per-site weights: the paper's status-quo "favorite sites".
+  std::map<std::string, double> site_preference;
+  /// Input LFNs, for replica-locality ranking.
+  std::vector<std::string> data_inputs;
+  /// VO replica catalog used to resolve `data_inputs` (may be null).
+  const rls::ReplicaLocationService* rls = nullptr;
+  /// Estimated stage-in volume (drives the gatekeeper staging factor).
+  Bytes stage_in;
+  /// Plan-time eligible sites.  Non-empty = the broker late-binds within
+  /// this set; empty = the broker computes eligibility from its own view.
+  std::vector<std::string> candidates;
+};
+
+}  // namespace grid3::broker

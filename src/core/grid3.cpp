@@ -1,6 +1,8 @@
 #include "core/grid3.h"
 
 #include <algorithm>
+#include <cassert>
+#include <functional>
 
 #include "pacman/vdt.h"
 
@@ -14,6 +16,7 @@ const std::vector<std::string>& canonical_vos() {
 
 Grid3::Grid3(sim::Simulation& sim, std::uint64_t seed)
     : sim_{sim},
+      seed_{seed},
       rng_{seed},
       net_{sim},
       ca_{"DOEGrids CA"},
@@ -82,6 +85,30 @@ mds::Giis* Grid3::vo_giis(const std::string& vo_name) {
 workflow::DagMan& Grid3::dagman(const std::string& vo_name) {
   add_vo(vo_name);
   return *vos_.at(vo_name).dagman;
+}
+
+broker::ResourceBroker& Grid3::attach_broker(const std::string& vo_name,
+                                             broker::PolicyKind kind,
+                                             broker::BrokerConfig cfg) {
+  add_vo(vo_name);
+  VoServices& svc = vos_.at(vo_name);
+  auto policy = broker::make_policy(kind);
+  assert(policy != nullptr && "attach_broker needs a real policy");
+  // Mix the fabric seed and the VO name in so two VOs' brokers draw
+  // independent streams, yet a fixed fabric seed reproduces the same
+  // match log byte-for-byte.
+  cfg.rng_seed ^= seed_ * 0x9e3779b97f4a7c15ull;
+  cfg.rng_seed ^= std::hash<std::string>{}(vo_name);
+  svc.broker = std::make_unique<broker::ResourceBroker>(
+      sim_, cfg, std::move(policy), igoc_.top_giis(), &igoc_.ml_repository(),
+      *this, condor_g_, &igoc_.job_db());
+  svc.dagman->set_broker(svc.broker.get());
+  return *svc.broker;
+}
+
+broker::ResourceBroker* Grid3::broker(const std::string& vo_name) {
+  auto it = vos_.find(vo_name);
+  return it == vos_.end() ? nullptr : it->second.broker.get();
 }
 
 Site& Grid3::add_site(SiteConfig cfg, double reliability,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "broker/broker.h"
 #include "core/failure.h"
 #include "core/igoc.h"
 #include "core/site.h"
@@ -39,7 +40,8 @@ struct ExternalHost {
   std::unique_ptr<srm::DiskVolume> disk;  ///< effectively unbounded tape
 };
 
-class Grid3 final : public workflow::SiteServices {
+class Grid3 final : public workflow::SiteServices,
+                    public broker::GatekeeperDirectory {
  public:
   explicit Grid3(sim::Simulation& sim, std::uint64_t seed = 20031025);
   ~Grid3() override;
@@ -105,7 +107,18 @@ class Grid3 final : public workflow::SiteServices {
   /// Per-VO DAGMan (bound to that VO's RLS).
   [[nodiscard]] workflow::DagMan& dagman(const std::string& vo_name);
 
-  // --- workflow::SiteServices -------------------------------------------
+  /// Attach a resource broker to a VO: view fed by the iGOC top GIIS and
+  /// MonALISA repository, match decisions mirrored into the iGOC job
+  /// database, and the VO's DAGMan switched to late binding.  `kind`
+  /// must not be PolicyKind::kNone; re-attaching replaces the policy.
+  broker::ResourceBroker& attach_broker(const std::string& vo_name,
+                                        broker::PolicyKind kind,
+                                        broker::BrokerConfig cfg = {});
+  /// The VO's broker, or null when none is attached.
+  [[nodiscard]] broker::ResourceBroker* broker(const std::string& vo_name);
+
+  // --- workflow::SiteServices + broker::GatekeeperDirectory -------------
+  /// One override serves both bases (identical signatures).
   [[nodiscard]] gram::Gatekeeper* gatekeeper(const std::string& site) override;
   [[nodiscard]] gridftp::GridFtpServer* ftp(const std::string& site) override;
   [[nodiscard]] srm::DiskVolume* volume(const std::string& site) override;
@@ -121,9 +134,11 @@ class Grid3 final : public workflow::SiteServices {
     std::unique_ptr<mds::Giis> giis;
     std::unique_ptr<rls::ReplicaLocationService> rls;
     std::unique_ptr<workflow::DagMan> dagman;
+    std::unique_ptr<broker::ResourceBroker> broker;
   };
 
   sim::Simulation& sim_;
+  std::uint64_t seed_;
   util::Rng rng_;
   net::Network net_;
   vo::CertificateAuthority ca_;

@@ -118,6 +118,7 @@ void Gatekeeper::submit(GramJob job, GramCallback done) {
     recent_submissions_.pop_front();
   }
   record_burst();
+  peak_load_ = std::max(peak_load_, one_minute_load());
   if (one_minute_load() > cfg_.overload_threshold) {
     ++overload_rejections_;
     reject(GramStatus::kGatekeeperOverloaded);

@@ -125,6 +125,10 @@ class Gatekeeper {
   /// One-minute load average per the section 6.4 model.
   [[nodiscard]] double one_minute_load() const;
 
+  /// Highest one-minute load observed at any submission, over the
+  /// gatekeeper's lifetime (the overload-ablation headline number).
+  [[nodiscard]] double peak_one_minute_load() const { return peak_load_; }
+
   [[nodiscard]] std::size_t managed_jobs() const { return managed_.size(); }
   [[nodiscard]] const std::string& site() const { return cfg_.site; }
   [[nodiscard]] const GatekeeperConfig& config() const { return cfg_; }
@@ -188,6 +192,7 @@ class Gatekeeper {
   std::uint64_t completions_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t overload_rejections_ = 0;
+  double peak_load_ = 0.0;
 };
 
 }  // namespace grid3::gram

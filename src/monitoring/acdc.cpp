@@ -12,6 +12,21 @@ void JobDatabase::insert_transfer(TransferEntry entry) {
   transfers_.push_back(std::move(entry));
 }
 
+void JobDatabase::insert_match(MatchRecord match) {
+  matches_.push_back(std::move(match));
+}
+
+std::map<std::string, std::size_t> JobDatabase::placements_by_site(
+    Time from, Time to, const std::string& vo) const {
+  std::map<std::string, std::size_t> out;
+  for (const MatchRecord& m : matches_) {
+    if (m.at < from || m.at >= to) continue;
+    if (!vo.empty() && m.vo != vo) continue;
+    ++out[m.site];
+  }
+  return out;
+}
+
 std::vector<const JobRecord*> JobDatabase::completed(const std::string& vo,
                                                      Time from,
                                                      Time to) const {

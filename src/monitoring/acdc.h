@@ -40,6 +40,21 @@ struct JobRecord {
   [[nodiscard]] Time runtime() const { return finished - started; }
 };
 
+/// One resource-broker match decision (which site a job was bound to,
+/// under which ranking policy).  The broker mirrors its match log here so
+/// placement distributions can be queried next to the job records.
+struct MatchRecord {
+  std::uint64_t seq = 0;
+  Time at;
+  std::string vo;
+  std::string app;
+  std::string policy;  ///< ranking policy that made the decision
+  std::string site;    ///< chosen execution site
+  std::size_t candidates = 0;  ///< admissible sites at decision time
+  int rebind = 0;      ///< 0 = initial match, n = nth late-binding re-match
+  double score = 0.0;  ///< the chosen site's policy score
+};
+
 /// Per-site transfer accounting feeding Figure 5.
 struct TransferEntry {
   std::string src_site;
@@ -71,6 +86,7 @@ class JobDatabase {
  public:
   void insert(JobRecord record);
   void insert_transfer(TransferEntry entry);
+  void insert_match(MatchRecord match);
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] const std::vector<JobRecord>& records() const {
@@ -79,6 +95,14 @@ class JobDatabase {
   [[nodiscard]] const std::vector<TransferEntry>& transfers() const {
     return transfers_;
   }
+  [[nodiscard]] const std::vector<MatchRecord>& matches() const {
+    return matches_;
+  }
+
+  /// Broker placement distribution: match decisions per chosen site over
+  /// a window (empty vo = all VOs).
+  [[nodiscard]] std::map<std::string, std::size_t> placements_by_site(
+      Time from, Time to, const std::string& vo = {}) const;
 
   /// Completed production jobs for one VO in [from, to): the Table 1
   /// population ("based on completed production jobs").
@@ -128,6 +152,7 @@ class JobDatabase {
  private:
   std::vector<JobRecord> records_;
   std::vector<TransferEntry> transfers_;
+  std::vector<MatchRecord> matches_;
 };
 
 }  // namespace grid3::monitoring

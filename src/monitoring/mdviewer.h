@@ -76,6 +76,12 @@ class MdViewer {
   [[nodiscard]] LatencyBreakdown latency_breakdown(const std::string& vo,
                                                    Time from, Time to) const;
 
+  /// Broker placement distribution: share of match decisions per chosen
+  /// site over a window, descending (the brokered-vs-favorite-sites
+  /// ablation plots this next to Figure 4's CPU-by-site view).
+  [[nodiscard]] std::vector<std::pair<std::string, double>>
+  placement_shares(Time from, Time to, const std::string& vo = {}) const;
+
   /// Redundant-path crosscheck (section 5.2): relative divergence between
   /// the ACDC-derived average grid-job concurrency and the MonALISA
   /// VO-activity path (sum of per-site per-VO running-job gauges).

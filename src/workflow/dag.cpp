@@ -28,10 +28,14 @@ std::vector<std::size_t> parents_of(std::size_t j, const Edges& edges) {
 
 template <typename Edges>
 bool acyclic_check(std::size_t n, const Edges& edges) {
+  // Kahn's algorithm over an adjacency list built once: O(V + E), not the
+  // O(V*E) a per-node edge rescan would cost on wide DAGs.
   std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> children(n);
   for (const auto& [p, c] : edges) {
     if (p >= n || c >= n) return false;
     ++indegree[c];
+    children[p].push_back(c);
   }
   std::queue<std::size_t> ready;
   for (std::size_t i = 0; i < n; ++i) {
@@ -42,8 +46,8 @@ bool acyclic_check(std::size_t n, const Edges& edges) {
     const std::size_t j = ready.front();
     ready.pop();
     ++seen;
-    for (const auto& [p, c] : edges) {
-      if (p == j && --indegree[c] == 0) ready.push(c);
+    for (std::size_t c : children[j]) {
+      if (--indegree[c] == 0) ready.push(c);
     }
   }
   return seen == n;

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "broker/job_spec.h"
 #include "util/units.h"
 
 namespace grid3::workflow {
@@ -56,6 +58,10 @@ struct ConcreteNode {
   Bytes scratch;               ///< compute working space
   std::string source_site;     ///< stage-in source / stage-out origin
   int priority = 0;            ///< batch priority (< 0 = backfill)
+  /// Late binding: present when the plan was made against a resource
+  /// broker.  `site` is then only the planner's provisional placement;
+  /// DAGMan hands the spec to the broker at dispatch time.
+  std::optional<broker::JobSpec> broker_spec;
 };
 
 struct ConcreteDag {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "broker/broker.h"
+
 namespace grid3::workflow {
 
 DagMan::DagMan(sim::Simulation& sim, gram::CondorG& condor_g,
@@ -24,6 +26,12 @@ void DagMan::run(ConcreteDag dag, vo::VomsProxy proxy, DoneFn done,
   run->on_node = std::move(on_node);
   run->states.assign(run->dag.nodes.size(), NodeState::kPending);
   run->attempts.assign(run->dag.nodes.size(), 0);
+  run->parents.resize(run->dag.nodes.size());
+  run->children.resize(run->dag.nodes.size());
+  for (const auto& [p, c] : run->dag.edges) {
+    run->parents[c].push_back(p);
+    run->children[p].push_back(c);
+  }
   run->stats.nodes_total = run->dag.nodes.size();
   run->stats.started = sim_.now();
   run->stats.node_results.resize(run->dag.nodes.size());
@@ -56,7 +64,7 @@ void DagMan::launch_ready(const std::shared_ptr<Run>& run) {
   for (std::size_t i = 0; i < run->dag.nodes.size(); ++i) {
     if (run->states[i] != NodeState::kPending) continue;
     bool ready = true;
-    for (std::size_t p : run->dag.parents(i)) {
+    for (std::size_t p : run->parents[i]) {
       if (run->states[p] != NodeState::kDone) {
         ready = false;
         break;
@@ -75,6 +83,51 @@ void DagMan::start_node(const std::shared_ptr<Run>& run, std::size_t idx) {
 
   switch (node.type) {
     case NodeType::kCompute: {
+      if (broker_ != nullptr && node.broker_spec.has_value()) {
+        gram::GramJob job;
+        job.proxy = run->proxy;
+        job.request.vo = run->proxy.vo;
+        job.request.user_dn = run->proxy.identity.subject_dn;
+        job.request.requested_walltime = node.requested_walltime;
+        job.request.actual_runtime = node.runtime;
+        job.request.priority = node.priority;
+        job.scratch = node.scratch;
+        if (node.bytes > Bytes::zero() && !node.source_site.empty()) {
+          job.stage_in = node.bytes;
+          job.stage_in_source = services_.ftp(node.source_site);
+        }
+        broker_->submit(
+            *node.broker_spec, std::move(job),
+            [this, run, idx](const broker::BrokeredResult& br) {
+              const ConcreteNode& n = run->dag.nodes[idx];
+              NodeResult r;
+              r.index = idx;
+              r.type = n.type;
+              r.site = br.site.empty() ? n.site : br.site;
+              r.source_site = n.source_site;
+              r.bytes = n.bytes;
+              r.ok = br.ok();
+              r.attempts = run->attempts[idx];
+              r.submitted = br.gram.submitted;
+              r.started = br.gram.ok() ? br.gram.outcome.started
+                                       : br.gram.submitted;
+              r.finished = br.gram.finished;
+              r.gram_status = br.gram.status;
+              r.gram_contact = br.gram.gram_contact;
+              if (!br.ok()) {
+                if (!br.matched) {
+                  // Never bound: the broker's kNoEligibleSite analogue.
+                  r.site_problem = false;
+                  r.failure_class = "no-eligible-site";
+                } else {
+                  r.site_problem = gram::is_site_problem(br.gram.status);
+                  r.failure_class = gram::to_string(br.gram.status);
+                }
+              }
+              node_done(run, idx, std::move(r));
+            });
+        return;
+      }
       gram::Gatekeeper* gk = services_.gatekeeper(node.site);
       if (gk == nullptr) {
         NodeResult r;
@@ -244,7 +297,7 @@ void DagMan::node_done(const std::shared_ptr<Run>& run, std::size_t idx,
 
 void DagMan::skip_descendants(const std::shared_ptr<Run>& run,
                               std::size_t idx) {
-  for (std::size_t c : run->dag.children(idx)) {
+  for (std::size_t c : run->children[idx]) {
     if (run->states[c] == NodeState::kPending) {
       run->states[c] = NodeState::kSkipped;
       ++run->stats.skipped;
@@ -262,7 +315,7 @@ void DagMan::maybe_finish(const std::shared_ptr<Run>& run) {
     if (run->states[i] == NodeState::kPending) {
       // Blocked behind a failed/skipped parent?
       bool blocked = false;
-      for (std::size_t p : run->dag.parents(i)) {
+      for (std::size_t p : run->parents[i]) {
         if (run->states[p] == NodeState::kFailed ||
             run->states[p] == NodeState::kSkipped) {
           blocked = true;

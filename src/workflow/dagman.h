@@ -22,6 +22,10 @@
 #include "srm/disk.h"
 #include "workflow/dag.h"
 
+namespace grid3::broker {
+class ResourceBroker;
+}  // namespace grid3::broker
+
 namespace grid3::workflow {
 
 /// Resolves site names to their service endpoints; implemented by the
@@ -89,6 +93,11 @@ class DagMan {
 
   [[nodiscard]] std::uint64_t dags_run() const { return dags_run_; }
 
+  /// Optional resource broker: compute nodes carrying a JobSpec are
+  /// late-bound through it instead of submitted to their planned site.
+  void set_broker(broker::ResourceBroker* broker) { broker_ = broker; }
+  [[nodiscard]] broker::ResourceBroker* broker() const { return broker_; }
+
   /// Build the rescue DAG for a failed run: the sub-DAG of nodes that
   /// did not complete, with edges restricted to survivors -- resubmit it
   /// to continue where the run stopped (completed work is not redone).
@@ -105,6 +114,10 @@ class DagMan {
     NodeObserver on_node;
     std::vector<NodeState> states;
     std::vector<int> attempts;
+    /// Adjacency built once per run (ConcreteDag::parents/children scan
+    /// the whole edge list per call -- O(V*E) across a run).
+    std::vector<std::vector<std::size_t>> parents;
+    std::vector<std::vector<std::size_t>> children;
     DagRunStats stats;
     std::size_t outstanding = 0;
     bool finished = false;
@@ -123,6 +136,7 @@ class DagMan {
   rls::ReplicaLocationService* rls_;
   SiteServices& services_;
   DagManConfig cfg_;
+  broker::ResourceBroker* broker_ = nullptr;
   std::uint64_t dags_run_ = 0;
 };
 

@@ -1,7 +1,9 @@
 #include "workflow/planner.h"
 
 #include <algorithm>
+#include <set>
 
+#include "broker/broker.h"
 #include "mds/schema.h"
 
 namespace grid3::workflow {
@@ -54,10 +56,15 @@ std::string PegasusPlanner::choose_site(
 
 namespace {
 
-/// Forward topological order of an abstract DAG (Kahn's algorithm).
+/// Forward topological order of an abstract DAG (Kahn's algorithm over a
+/// child adjacency list built once: O(V + E)).
 std::vector<std::size_t> topo_order(const AbstractDag& dag) {
   std::vector<std::size_t> indegree(dag.jobs.size(), 0);
-  for (const auto& [p, c] : dag.edges) ++indegree[c];
+  std::vector<std::vector<std::size_t>> children(dag.jobs.size());
+  for (const auto& [p, c] : dag.edges) {
+    ++indegree[c];
+    children[p].push_back(c);
+  }
   std::vector<std::size_t> ready;
   for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
     if (indegree[i] == 0) ready.push_back(i);
@@ -67,8 +74,8 @@ std::vector<std::size_t> topo_order(const AbstractDag& dag) {
     const std::size_t j = ready.back();
     ready.pop_back();
     order.push_back(j);
-    for (const auto& [p, c] : dag.edges) {
-      if (p == j && --indegree[c] == 0) ready.push_back(c);
+    for (std::size_t c : children[j]) {
+      if (--indegree[c] == 0) ready.push_back(c);
     }
   }
   return order;
@@ -131,6 +138,16 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
     }
   }
 
+  // LFN -> some surviving job produces it (built once; scanning every
+  // job's outputs per input was quadratic on wide DAGs).
+  std::set<std::string> produced_by_runner;
+  for (std::size_t p = 0; p < dag.jobs.size(); ++p) {
+    if (!runs[p]) continue;
+    for (const std::string& o : dag.jobs[p].outputs) {
+      produced_by_runner.insert(o);
+    }
+  }
+
   for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
     const AbstractJob& job = dag.jobs[i];
     if (!runs[i]) continue;
@@ -142,22 +159,43 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       return std::nullopt;
     }
 
-    // Locality: prefer the first already-planned parent's site.
     std::string site;
-    std::string parent_site;
-    for (std::size_t p : dag.parents(i)) {
-      if (compute_index[p] != kPruned) {
-        parent_site = out.nodes[compute_index[p]].site;
-        break;
-      }
-    }
-    if (!parent_site.empty() &&
-        std::find(candidates.begin(), candidates.end(), parent_site) !=
-            candidates.end() &&
-        rng.chance(cfg.locality)) {
-      site = parent_site;
+    std::optional<broker::JobSpec> spec;
+    if (broker_ != nullptr) {
+      // Late binding: placement here is provisional (it seeds the staging
+      // topology); the broker re-matches against its live view when
+      // DAGMan dispatches the node.
+      broker::JobSpec s;
+      s.vo = cfg.vo;
+      s.app = job.transformation;
+      s.required_app = job.required_app;
+      s.runtime = job.runtime;
+      s.walltime_slack = cfg.walltime_slack;
+      s.min_free_cpus = cfg.min_free_cpus;
+      s.need_outbound = cfg.need_outbound;
+      s.site_preference = cfg.site_preference;
+      s.data_inputs = job.inputs;
+      s.rls = &rls_;
+      s.candidates = candidates;
+      site = broker_->choose(s, now).value_or(candidates.front());
+      spec = std::move(s);
     } else {
-      site = choose_site(candidates, cfg, rng);
+      // Locality: prefer the first already-planned parent's site.
+      std::string parent_site;
+      for (std::size_t p : dag.parents(i)) {
+        if (compute_index[p] != kPruned) {
+          parent_site = out.nodes[compute_index[p]].site;
+          break;
+        }
+      }
+      if (!parent_site.empty() &&
+          std::find(candidates.begin(), candidates.end(), parent_site) !=
+              candidates.end() &&
+          rng.chance(cfg.locality)) {
+        site = parent_site;
+      } else {
+        site = choose_site(candidates, cfg, rng);
+      }
     }
 
     ConcreteNode node;
@@ -182,16 +220,7 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
     // the bytes into jobmanager staging.
     Bytes external_in;
     for (const std::string& in : job.inputs) {
-      bool produced_by_running_job = false;
-      for (std::size_t p = 0; p < dag.jobs.size(); ++p) {
-        if (!runs[p]) continue;
-        const auto& outs = dag.jobs[p].outputs;
-        if (std::find(outs.begin(), outs.end(), in) != outs.end()) {
-          produced_by_running_job = true;
-          break;
-        }
-      }
-      if (produced_by_running_job) continue;
+      if (produced_by_runner.count(in) != 0) continue;
       for (const auto& [rsite, replica] : rls_.locate(in, now)) {
         if (rsite == site) {
           break;  // local replica, no staging
@@ -202,6 +231,10 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       }
     }
     node.bytes = external_in;
+    if (spec.has_value()) {
+      spec->stage_in = external_in;
+      node.broker_spec = std::move(spec);
+    }
 
     compute_index[i] = out.nodes.size();
     out.nodes.push_back(std::move(node));
@@ -219,6 +252,18 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
     const std::size_t cp = compute_index[p];
     const std::size_t cc = compute_index[c];
     if (out.nodes[cp].site == out.nodes[cc].site) {
+      out.edges.emplace_back(cp, cc);
+    } else if (broker_ != nullptr) {
+      // Brokered plans cannot pre-place a mover (the child's real site is
+      // matched at dispatch); fold the parent's output into the child's
+      // jobmanager staging from the parent's provisional site instead.
+      out.nodes[cc].bytes += dag.jobs[p].output_size;
+      if (out.nodes[cc].source_site.empty()) {
+        out.nodes[cc].source_site = out.nodes[cp].site;
+      }
+      if (out.nodes[cc].broker_spec.has_value()) {
+        out.nodes[cc].broker_spec->stage_in += dag.jobs[p].output_size;
+      }
       out.edges.emplace_back(cp, cc);
     } else {
       ConcreteNode mover;

@@ -24,6 +24,10 @@
 #include "util/rng.h"
 #include "workflow/dag.h"
 
+namespace grid3::broker {
+class ResourceBroker;
+}  // namespace grid3::broker
+
 namespace grid3::workflow {
 
 struct PlannerConfig {
@@ -52,6 +56,15 @@ class PegasusPlanner {
   PegasusPlanner(const mds::Giis& giis, const rls::ReplicaLocationService& rls)
       : giis_{giis}, rls_{rls} {}
 
+  /// Optional resource broker (null = the static favorite-sites path).
+  /// With a broker attached, compute nodes carry a JobSpec for late
+  /// binding, the provisional placement comes from the broker's ranked
+  /// view, and cross-site parent->child data folds into jobmanager
+  /// staging instead of pre-planned stage-in nodes (mover destinations
+  /// cannot be known before dispatch-time matching).
+  void set_broker(broker::ResourceBroker* broker) { broker_ = broker; }
+  [[nodiscard]] broker::ResourceBroker* broker() const { return broker_; }
+
   /// Sites currently eligible to run a job needing `app`.
   [[nodiscard]] std::vector<std::string> eligible_sites(
       const std::string& required_app, Time max_runtime,
@@ -71,6 +84,7 @@ class PegasusPlanner {
 
   const mds::Giis& giis_;
   const rls::ReplicaLocationService& rls_;
+  broker::ResourceBroker* broker_ = nullptr;
   mutable PlanError last_error_ = PlanError::kEmptyDag;
 };
 
