@@ -49,8 +49,10 @@ Scenario::Scenario(sim::Simulation& sim, ScenarioOptions opts)
   // Brokers must exist before the apps: each AppBase binds its planner
   // to its VO's broker at construction.
   if (opts.broker_policy != broker::PolicyKind::kNone) {
+    broker::BrokerConfig bcfg;
+    bcfg.placement_leases = opts.placement_leases;
     for (const std::string& vo : core::canonical_vos()) {
-      grid_->attach_broker(vo, opts.broker_policy);
+      grid_->attach_broker(vo, opts.broker_policy, bcfg);
     }
   }
 

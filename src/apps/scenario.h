@@ -36,6 +36,9 @@ struct ScenarioOptions {
   /// broker).  Anything else attaches a per-VO resource broker with that
   /// ranking policy before the application drivers are built.
   broker::PolicyKind broker_policy = broker::PolicyKind::kNone;
+  /// With a broker attached: acquire stage-out leases (SRM space at the
+  /// destination SE) before binding.  False = the no-lease baseline.
+  bool placement_leases = true;
 };
 
 struct Window {

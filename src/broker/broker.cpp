@@ -96,6 +96,22 @@ std::vector<std::string> ResourceBroker::eligible(const JobSpec& spec,
   return out;  // view_ is name-sorted
 }
 
+namespace {
+
+/// Storage-headroom rank factor: sites whose disks barely cover the
+/// job's local footprint (scratch + staged input) are downweighted, and
+/// sites that would fail the scratch allocation outright become a last
+/// resort.  Disk-full thereby shifts from a submit-time failure to a
+/// rank penalty.
+double storage_headroom(const JobSpec& spec, const SiteView& site) {
+  const double need_gb = (spec.stage_in + spec.scratch).to_gb();
+  if (need_gb <= 0.0 || site.se_free_gb <= 0.0) return 1.0;
+  if (site.se_free_gb <= need_gb) return 0.01;
+  return std::min(1.0, site.se_free_gb / (8.0 * need_gb));
+}
+
+}  // namespace
+
 const SiteView* ResourceBroker::rank_and_pick(
     const JobSpec& spec, const std::vector<const SiteView*>& sites, Time now,
     double* chosen_score) {
@@ -103,7 +119,11 @@ const SiteView* ResourceBroker::rank_and_pick(
   std::vector<double> scores;
   scores.reserve(sites.size());
   for (const SiteView* s : sites) {
-    scores.push_back(policy_->score(spec, *s, now));
+    double score = policy_->score(spec, *s, now);
+    // Placement-aware ranking only with a ledger attached, so the
+    // ledger-free broker keeps its established match log byte-for-byte.
+    if (ledger_ != nullptr) score *= storage_headroom(spec, *s);
+    scores.push_back(score);
   }
   std::size_t pick = 0;
   if (policy_->stochastic()) {
@@ -152,9 +172,13 @@ void ResourceBroker::submit(JobSpec spec, gram::GramJob job,
 }
 
 double ResourceBroker::predicted_load(const SiteView& site) const {
-  auto it = inflight_.find(site.site);
-  const int inflight = it == inflight_.end() ? 0 : it->second;
-  return site.gatekeeper_load + cfg_.inflight_load_weight * inflight;
+  // Weight in-flight submissions by their jobmanager staging factor, the
+  // same 2-4x the gatekeeper's own load model applies: a job archiving
+  // gigabytes through its jobmanager loads the gatekeeper harder than a
+  // no-staging probe, and the view's MonALISA sample hasn't seen either.
+  auto it = inflight_staging_.find(site.site);
+  const double staged = it == inflight_staging_.end() ? 0.0 : it->second;
+  return site.gatekeeper_load + cfg_.inflight_load_weight * staged;
 }
 
 int ResourceBroker::inflight(const std::string& site) const {
@@ -214,6 +238,7 @@ void ResourceBroker::record_match(const Pending& p, const SiteView& site,
   d.rebind = p.rebinds;
   d.score = score;
   log_.push_back(d);
+  publish_counter(metric::kMatches, log_.size());
   if (accounting_ != nullptr) {
     accounting_->insert_match({d.seq, d.at, d.vo, d.app, d.policy, d.site,
                                d.candidates, d.rebind, d.score});
@@ -229,13 +254,19 @@ void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
     if (any_deferred) {
       if (now - p->created > cfg_.max_hold) {
         // Saturated too long: surface as an overload, the failure class
-        // the broker exists to prevent.
+        // the broker exists to prevent (or as disk-full when the last
+        // defer was a full destination SE).
         BrokeredResult r;
-        r.matched = p->rebinds > 0;
+        // Storage-blocked jobs were matchable; the placement layer is
+        // what refused them, so the failure attributes as a site
+        // (storage) problem, not as "no eligible site".
+        r.matched = p->storage_blocked || p->rebinds > 0;
         r.rebinds = p->rebinds;
         r.holds = p->holds;
         r.gram = p->last;
-        r.gram.status = gram::GramStatus::kGatekeeperOverloaded;
+        r.gram.status = p->storage_blocked
+                            ? gram::GramStatus::kDiskFull
+                            : gram::GramStatus::kGatekeeperOverloaded;
         r.gram.submitted = p->created;
         r.gram.finished = now;
         finish(p, std::move(r));
@@ -256,12 +287,37 @@ void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
     return;
   }
 
+  // Secure the stage-out destination before binding: a full destination
+  // SE becomes a match-time wait here instead of a disk-full stage-out
+  // failure after the compute cycles are spent.
+  if (!ensure_lease(*p, now)) {
+    ++storage_holds_;
+    p->storage_blocked = true;
+    if (now - p->created > cfg_.max_hold) {
+      BrokeredResult r;
+      r.matched = true;  // matchable; storage refused it (see above)
+      r.rebinds = p->rebinds;
+      r.holds = p->holds;
+      r.gram = p->last;
+      r.gram.status = gram::GramStatus::kDiskFull;
+      r.gram.submitted = p->created;
+      r.gram.finished = now;
+      finish(p, std::move(r));
+      return;
+    }
+    hold(p);
+    return;
+  }
+  p->storage_blocked = false;
+
   double score = 0.0;
   const SiteView* picked = rank_and_pick(p->spec, pool, now, &score);
   record_match(*p, *picked, score, pool.size());
 
   p->bound_site = picked->site;
   ++inflight_[picked->site];
+  inflight_staging_[picked->site] +=
+      gram::staging_load_factor(p->spec.stage_in, p->spec.stage_out);
   gram::Gatekeeper* gk = gatekeepers_.gatekeeper(picked->site);
   auto self = p;
   condor_g_.submit_to(*gk, p->job, [this, self](const gram::GramResult& r) {
@@ -274,11 +330,23 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
   if (auto it = inflight_.find(p->bound_site); it != inflight_.end()) {
     if (--it->second <= 0) inflight_.erase(it);
   }
+  if (auto it = inflight_staging_.find(p->bound_site);
+      it != inflight_staging_.end()) {
+    it->second -=
+        gram::staging_load_factor(p->spec.stage_in, p->spec.stage_out);
+    if (it->second <= 1e-9) inflight_staging_.erase(it);
+  }
   // A slot freed: give held jobs a prompt re-match.
   if (!waiting_.empty() && !kick_scheduled_) {
     kick_scheduled_ = true;
     sim_.schedule_in(Time::seconds(1), [this] { kick_waiting(); });
   }
+
+  // The submission resolved, so the lease's job is done: consume it
+  // (output archived where the job really ran) or give the space back.
+  // Re-matches acquire a fresh lease, so reserved space never leaks
+  // across rebinds.
+  drop_lease(*p, r.ok());
 
   if (r.ok() || !gram::is_transient(r.status)) {
     BrokeredResult out;
@@ -306,6 +374,7 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
   }
   ++p->rebinds;
   ++rebinds_;
+  publish_counter(metric::kRebinds, rebinds_);
   double backoff = cfg_.rebind_backoff.to_seconds();
   for (int i = 1; i < p->rebinds; ++i) backoff *= cfg_.backoff_factor;
   auto self = p;
@@ -315,6 +384,7 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
 void ResourceBroker::hold(const std::shared_ptr<Pending>& p) {
   ++p->holds;
   ++holds_;
+  publish_counter(metric::kHolds, holds_);
   waiting_.push_back(p);
   if (!kick_scheduled_) {
     kick_scheduled_ = true;
@@ -331,11 +401,56 @@ void ResourceBroker::kick_waiting() {
 
 void ResourceBroker::finish(const std::shared_ptr<Pending>& p,
                             BrokeredResult result) {
+  drop_lease(*p, false);  // no-op unless a path left one behind
   if (p->done) {
     auto done = std::move(p->done);
     p->done = nullptr;
     done(result);
   }
+}
+
+bool ResourceBroker::ensure_lease(Pending& p, Time now) {
+  p.job.stage_out_srm = nullptr;
+  p.job.stage_out_reservation = 0;
+  if (ledger_ == nullptr || !cfg_.placement_leases) return true;
+  if (p.spec.stage_out_site.empty() || p.spec.stage_out == Bytes::zero()) {
+    return true;  // no placement intent
+  }
+  const auto res = ledger_->acquire(p.spec.stage_out_site, p.spec.stage_out,
+                                    p.spec.app, p.spec.output_lfns, now);
+  switch (res.status) {
+    case placement::AcquireStatus::kNoStorage:
+      return true;  // unmanaged archive: proceed unleased (status quo)
+    case placement::AcquireStatus::kDiskFull:
+      return false;
+    case placement::AcquireStatus::kLeased:
+      break;
+  }
+  p.lease = res.lease;
+  p.job.stage_out_srm = ledger_->srm_for(res.lease);
+  if (const placement::StageOutLease* l = ledger_->find(res.lease)) {
+    p.job.stage_out_reservation = l->reservation;
+  }
+  return true;
+}
+
+void ResourceBroker::drop_lease(Pending& p, bool consumed) {
+  if (p.lease == 0) return;
+  if (ledger_ != nullptr) {
+    if (consumed) {
+      ledger_->consume(p.lease, p.bound_site, sim_.now());
+    } else {
+      ledger_->release(p.lease, sim_.now());
+    }
+  }
+  p.lease = 0;
+  p.job.stage_out_srm = nullptr;
+  p.job.stage_out_reservation = 0;
+}
+
+void ResourceBroker::publish_counter(const char* name, std::uint64_t value) {
+  if (bus_ == nullptr) return;
+  bus_->publish(bus_label_, name, sim_.now(), static_cast<double>(value));
 }
 
 std::string ResourceBroker::serialize_match_log() const {

@@ -34,7 +34,9 @@
 #include "gram/condor_g.h"
 #include "mds/giis.h"
 #include "monitoring/acdc.h"
+#include "monitoring/bus.h"
 #include "monitoring/monalisa.h"
+#include "placement/ledger.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
 
@@ -65,16 +67,30 @@ struct BrokerConfig {
   /// Predicted 1-minute load above which no further jobs are bound to a
   /// gatekeeper (kept below the ~400 overload knee).
   double load_ceiling = 320.0;
-  /// Predicted load contribution of one in-flight brokered submission
-  /// (per-job coefficient x typical staging factor).
+  /// Predicted load contribution per staging-factor unit of in-flight
+  /// brokered submissions (each job contributes its own 1-4x
+  /// gram::staging_load_factor, matching the gatekeeper's load model).
   double inflight_load_weight = 0.45;
   /// Held jobs re-attempt matching on this period (also kicked whenever
   /// an in-flight submission completes).
   Time hold_retry = Time::minutes(5);
   /// A job held longer than this fails back to the submitter.
   Time max_hold = Time::hours(12);
+  /// Acquire a stage-out lease (SRM space at the destination SE) before
+  /// binding jobs that carry a placement intent; false = the no-lease
+  /// baseline (disk-full discovered at stage-out time).  Only effective
+  /// when a PlacementLedger is attached.
+  bool placement_leases = true;
   std::uint64_t rng_seed = 0xb20ce5;
 };
+
+/// Counter metric names the broker publishes per VO (site key = the
+/// label passed to set_metric_bus), plottable next to gatekeeper load.
+namespace metric {
+inline constexpr const char* kMatches = "broker.matches";
+inline constexpr const char* kRebinds = "broker.rebinds";
+inline constexpr const char* kHolds = "broker.holds";
+}  // namespace metric
 
 /// One append-only match-log entry (also mirrored into ACDC).
 struct MatchDecision {
@@ -131,6 +147,24 @@ class ResourceBroker {
   /// on transient failure.  `done` fires exactly once.
   void submit(JobSpec spec, gram::GramJob job, BrokeredCallback done);
 
+  /// Attach the VO's placement ledger: specs carrying a stage-out intent
+  /// get a lease acquired before binding (full destination = match-time
+  /// hold), the lease's reservation is threaded into the GramJob, and
+  /// the lease is consumed/released when the submission resolves.
+  void set_placement(placement::PlacementLedger* ledger) {
+    ledger_ = ledger;
+  }
+  [[nodiscard]] placement::PlacementLedger* placement() const {
+    return ledger_;
+  }
+
+  /// Publish match/hold/rebind counters on the bus under `label` (the VO
+  /// name) so MDViewer can plot broker activity next to gatekeeper load.
+  void set_metric_bus(monitoring::MetricBus* bus, std::string label) {
+    bus_ = bus;
+    bus_label_ = std::move(label);
+  }
+
   // --- introspection / accounting ---
   [[nodiscard]] const std::vector<MatchDecision>& match_log() const {
     return log_;
@@ -142,6 +176,11 @@ class ResourceBroker {
   [[nodiscard]] std::uint64_t rebinds() const { return rebinds_; }
   [[nodiscard]] std::uint64_t holds() const { return holds_; }
   [[nodiscard]] std::uint64_t submissions() const { return submissions_; }
+  /// Holds caused by a full destination SE (lease rejections) -- the
+  /// disk-full class converted into match-time waits.
+  [[nodiscard]] std::uint64_t storage_holds() const {
+    return storage_holds_;
+  }
   [[nodiscard]] int inflight(const std::string& site) const;
 
  private:
@@ -155,6 +194,10 @@ class ResourceBroker {
     std::map<std::string, Time> excluded_until;  ///< per-job cool-off
     std::string bound_site;
     gram::GramResult last;  ///< last transient failure, for exhaustion
+    placement::LeaseId lease = 0;  ///< active stage-out lease (0 = none)
+    /// The last defer was a full destination SE, not gatekeeper
+    /// saturation: max-hold expiry then reports kDiskFull.
+    bool storage_blocked = false;
   };
 
   void refresh_view(Time now);
@@ -172,6 +215,12 @@ class ResourceBroker {
   void record_match(const Pending& p, const SiteView& site, double score,
                     std::size_t pool_size);
   void finish(const std::shared_ptr<Pending>& p, BrokeredResult result);
+  /// Acquire (or re-acquire) the stage-out lease for a spec carrying a
+  /// placement intent and thread it into the GramJob.  False = the
+  /// destination SE is full; the caller must defer the match.
+  [[nodiscard]] bool ensure_lease(Pending& p, Time now);
+  void drop_lease(Pending& p, bool consumed);
+  void publish_counter(const char* name, std::uint64_t value);
   [[nodiscard]] double predicted_load(const SiteView& site) const;
   [[nodiscard]] bool meets_requirements(const JobSpec& spec,
                                         const SiteView& site) const;
@@ -184,6 +233,9 @@ class ResourceBroker {
   GatekeeperDirectory& gatekeepers_;
   gram::CondorG& condor_g_;
   monitoring::JobDatabase* accounting_;
+  placement::PlacementLedger* ledger_ = nullptr;
+  monitoring::MetricBus* bus_ = nullptr;
+  std::string bus_label_;
   util::Rng rng_;
 
   std::vector<SiteView> view_;
@@ -191,12 +243,15 @@ class ResourceBroker {
   bool view_valid_ = false;
 
   std::map<std::string, int> inflight_;
+  /// Per-site sum of in-flight staging factors (predicted-load input).
+  std::map<std::string, double> inflight_staging_;
   std::deque<std::shared_ptr<Pending>> waiting_;
   bool kick_scheduled_ = false;
 
   std::vector<MatchDecision> log_;
   std::uint64_t rebinds_ = 0;
   std::uint64_t holds_ = 0;
+  std::uint64_t storage_holds_ = 0;
   std::uint64_t submissions_ = 0;
 };
 

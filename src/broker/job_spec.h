@@ -38,6 +38,16 @@ struct JobSpec {
   const rls::ReplicaLocationService* rls = nullptr;
   /// Estimated stage-in volume (drives the gatekeeper staging factor).
   Bytes stage_in;
+  /// Working-directory footprint at the execution site (lets the broker
+  /// rank away from sites whose disks are nearly full).
+  Bytes scratch;
+  /// Stage-out placement intent: archive `stage_out` bytes to this SE
+  /// after success, then register `output_lfns` there.  Empty site = no
+  /// archived outputs.  With a placement ledger attached, the broker
+  /// acquires a stage-out lease for the intent before binding the job.
+  std::string stage_out_site;
+  Bytes stage_out;
+  std::vector<std::string> output_lfns;
   /// Plan-time eligible sites.  Non-empty = the broker late-binds within
   /// this set; empty = the broker computes eligibility from its own view.
   std::vector<std::string> candidates;

@@ -102,6 +102,14 @@ broker::ResourceBroker& Grid3::attach_broker(const std::string& vo_name,
   svc.broker = std::make_unique<broker::ResourceBroker>(
       sim_, cfg, std::move(policy), igoc_.top_giis(), &igoc_.ml_repository(),
       *this, condor_g_, &igoc_.job_db());
+  svc.broker->set_metric_bus(&igoc_.bus(), vo_name);
+  if (cfg.placement_leases) {
+    svc.placement = std::make_unique<placement::PlacementLedger>(
+        vo_name, *this, &igoc_.bus(), &igoc_.job_db());
+    svc.broker->set_placement(svc.placement.get());
+  } else {
+    svc.placement.reset();
+  }
   svc.dagman->set_broker(svc.broker.get());
   return *svc.broker;
 }
@@ -109,6 +117,11 @@ broker::ResourceBroker& Grid3::attach_broker(const std::string& vo_name,
 broker::ResourceBroker* Grid3::broker(const std::string& vo_name) {
   auto it = vos_.find(vo_name);
   return it == vos_.end() ? nullptr : it->second.broker.get();
+}
+
+placement::PlacementLedger* Grid3::placement(const std::string& vo_name) {
+  auto it = vos_.find(vo_name);
+  return it == vos_.end() ? nullptr : it->second.placement.get();
 }
 
 Site& Grid3::add_site(SiteConfig cfg, double reliability,
@@ -216,6 +229,11 @@ gridftp::GridFtpServer* Grid3::ftp(const std::string& site_name) {
     if (host->name == site_name) return host->ftp.get();
   }
   return nullptr;
+}
+
+srm::StorageResourceManager* Grid3::storage(const std::string& site_name) {
+  Site* s = site(site_name);
+  return s == nullptr ? nullptr : s->storage_element();
 }
 
 srm::DiskVolume* Grid3::volume(const std::string& site_name) {

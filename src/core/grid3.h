@@ -41,7 +41,8 @@ struct ExternalHost {
 };
 
 class Grid3 final : public workflow::SiteServices,
-                    public broker::GatekeeperDirectory {
+                    public broker::GatekeeperDirectory,
+                    public placement::StorageDirectory {
  public:
   explicit Grid3(sim::Simulation& sim, std::uint64_t seed = 20031025);
   ~Grid3() override;
@@ -116,12 +117,21 @@ class Grid3 final : public workflow::SiteServices,
                                         broker::BrokerConfig cfg = {});
   /// The VO's broker, or null when none is attached.
   [[nodiscard]] broker::ResourceBroker* broker(const std::string& vo_name);
+  /// The VO's placement ledger (created by attach_broker when the config
+  /// enables leases), or null.
+  [[nodiscard]] placement::PlacementLedger* placement(
+      const std::string& vo_name);
 
   // --- workflow::SiteServices + broker::GatekeeperDirectory -------------
   /// One override serves both bases (identical signatures).
   [[nodiscard]] gram::Gatekeeper* gatekeeper(const std::string& site) override;
   [[nodiscard]] gridftp::GridFtpServer* ftp(const std::string& site) override;
+  /// Serves both workflow::SiteServices and placement::StorageDirectory.
   [[nodiscard]] srm::DiskVolume* volume(const std::string& site) override;
+  /// placement::StorageDirectory: the site's SRM head node (null for
+  /// sites without a deployed SRM and for external archive hosts).
+  [[nodiscard]] srm::StorageResourceManager* storage(
+      const std::string& site) override;
 
   /// Total CPUs across online sites (milestone metric).
   [[nodiscard]] int total_cpus() const;
@@ -134,6 +144,7 @@ class Grid3 final : public workflow::SiteServices,
     std::unique_ptr<mds::Giis> giis;
     std::unique_ptr<rls::ReplicaLocationService> rls;
     std::unique_ptr<workflow::DagMan> dagman;
+    std::unique_ptr<placement::PlacementLedger> placement;
     std::unique_ptr<broker::ResourceBroker> broker;
   };
 

@@ -241,11 +241,22 @@ void Gatekeeper::stage_out(std::uint64_t id, const batch::JobOutcome& outcome) {
   req.dst = m.job.stage_out_dest;
   req.size = m.job.stage_out;
   req.lfn = "stage-out/" + contact_for(id);
+  // Destination-SE accounting: a placement lease's SRM reservation when
+  // one was acquired, else the raw volume (TOCTOU path).
+  req.dest_volume = m.job.stage_out_volume;
+  req.dest_srm = m.job.stage_out_srm;
+  req.reservation = m.job.stage_out_reservation;
   ftp_.transfer(std::move(req),
                 [this, id, outcome](const gridftp::TransferRecord& t) {
                   auto it = managed_.find(id);
                   if (it == managed_.end()) return;
                   if (!t.ok()) {
+                    if (t.status ==
+                        gridftp::TransferStatus::kFailedNoSpace) {
+                      ++stage_out_no_space_;
+                      fail(id, GramStatus::kDiskFull, t.attempts);
+                      return;
+                    }
                     fail(id, GramStatus::kStageOutFailed, t.attempts);
                     return;
                   }

@@ -31,6 +31,7 @@
 #include "gridftp/gridftp.h"
 #include "net/network.h"
 #include "srm/disk.h"
+#include "srm/srm.h"
 #include "util/rng.h"
 #include "util/units.h"
 #include "vo/gridmap.h"
@@ -68,6 +69,14 @@ struct GramJob {
   Bytes stage_out;                ///< output to push after success
   gridftp::GridFtpServer* stage_in_source = nullptr;   ///< null = no stage-in
   gridftp::GridFtpServer* stage_out_dest = nullptr;    ///< null = no stage-out
+  /// Destination-SE space accounting for the stage-out (null = unmanaged
+  /// archive).  When a placement lease pre-reserved SRM space, the bytes
+  /// land inside `stage_out_reservation` and the TOCTOU window is closed;
+  /// a full destination surfaces as kDiskFull (transient -> the broker
+  /// re-matches) rather than a generic stage-out failure.
+  srm::DiskVolume* stage_out_volume = nullptr;
+  srm::StorageResourceManager* stage_out_srm = nullptr;
+  srm::ReservationId stage_out_reservation = 0;
   Bytes scratch;                  ///< working-directory footprint
 };
 
@@ -153,6 +162,11 @@ class Gatekeeper {
   [[nodiscard]] std::uint64_t overload_rejections() const {
     return overload_rejections_;
   }
+  /// Stage-out attempts that died to a full destination SE -- the
+  /// failure class placement leases convert into match-time rejections.
+  [[nodiscard]] std::uint64_t stage_out_no_space() const {
+    return stage_out_no_space_;
+  }
 
  private:
   struct Managed {
@@ -192,6 +206,7 @@ class Gatekeeper {
   std::uint64_t completions_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t overload_rejections_ = 0;
+  std::uint64_t stage_out_no_space_ = 0;
   double peak_load_ = 0.0;
 };
 

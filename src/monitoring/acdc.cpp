@@ -16,6 +16,21 @@ void JobDatabase::insert_match(MatchRecord match) {
   matches_.push_back(std::move(match));
 }
 
+void JobDatabase::insert_lease(LeaseRecord lease) {
+  leases_.push_back(std::move(lease));
+}
+
+std::map<std::string, std::size_t> JobDatabase::lease_events(
+    Time from, Time to, const std::string& vo) const {
+  std::map<std::string, std::size_t> out;
+  for (const LeaseRecord& l : leases_) {
+    if (l.at < from || l.at >= to) continue;
+    if (!vo.empty() && l.vo != vo) continue;
+    ++out[l.event];
+  }
+  return out;
+}
+
 std::map<std::string, std::size_t> JobDatabase::placements_by_site(
     Time from, Time to, const std::string& vo) const {
   std::map<std::string, std::size_t> out;

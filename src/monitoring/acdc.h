@@ -55,6 +55,21 @@ struct MatchRecord {
   double score = 0.0;  ///< the chosen site's policy score
 };
 
+/// One stage-out lease lifecycle event, mirrored from the placement
+/// ledger: how often output space was secured at match time, archived,
+/// given back on failure paths, or refused because the destination SE
+/// was full (the disk-full failure that never reached a gatekeeper).
+struct LeaseRecord {
+  std::uint64_t lease = 0;
+  Time at;
+  std::string vo;
+  std::string app;
+  std::string dest_site;
+  std::string event;  ///< "acquire" | "consume" | "release" | "reject"
+  Bytes size;
+  std::string completion_site;  ///< set on "consume"
+};
+
 /// Per-site transfer accounting feeding Figure 5.
 struct TransferEntry {
   std::string src_site;
@@ -87,6 +102,7 @@ class JobDatabase {
   void insert(JobRecord record);
   void insert_transfer(TransferEntry entry);
   void insert_match(MatchRecord match);
+  void insert_lease(LeaseRecord lease);
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] const std::vector<JobRecord>& records() const {
@@ -98,6 +114,14 @@ class JobDatabase {
   [[nodiscard]] const std::vector<MatchRecord>& matches() const {
     return matches_;
   }
+  [[nodiscard]] const std::vector<LeaseRecord>& leases() const {
+    return leases_;
+  }
+
+  /// Lease lifecycle counts by event over a window (empty vo = all VOs):
+  /// the placement layer's acquire/consume/release/reject balance.
+  [[nodiscard]] std::map<std::string, std::size_t> lease_events(
+      Time from, Time to, const std::string& vo = {}) const;
 
   /// Broker placement distribution: match decisions per chosen site over
   /// a window (empty vo = all VOs).
@@ -153,6 +177,7 @@ class JobDatabase {
   std::vector<JobRecord> records_;
   std::vector<TransferEntry> transfers_;
   std::vector<MatchRecord> matches_;
+  std::vector<LeaseRecord> leases_;
 };
 
 }  // namespace grid3::monitoring

@@ -82,6 +82,22 @@ class MdViewer {
   [[nodiscard]] std::vector<std::pair<std::string, double>>
   placement_shares(Time from, Time to, const std::string& vo = {}) const;
 
+  /// Broker / placement activity series: the counter samples a VO's
+  /// broker (broker.matches/holds/rebinds) or placement ledger
+  /// (placement.leases_*) published on the bus, plottable in the same
+  /// frame as the gatekeeper load gauges.  Empty series when that VO
+  /// never published the counter.
+  [[nodiscard]] const util::TimeSeries& broker_counter(
+      const std::string& vo, const std::string& counter) const {
+    return bus_.series(vo, counter);
+  }
+  /// Lease lifecycle histogram from the ACDC mirror: event -> count over
+  /// a window (events: acquire, consume, release, reject).
+  [[nodiscard]] std::map<std::string, std::size_t> lease_events(
+      Time from, Time to, const std::string& vo = {}) const {
+    return jobs_.lease_events(from, to, vo);
+  }
+
   /// Redundant-path crosscheck (section 5.2): relative divergence between
   /// the ACDC-derived average grid-job concurrency and the MonALISA
   /// VO-activity path (sum of per-site per-VO running-job gauges).

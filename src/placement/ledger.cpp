@@ -1,0 +1,132 @@
+#include "placement/ledger.h"
+
+#include "monitoring/acdc.h"
+#include "monitoring/bus.h"
+
+namespace grid3::placement {
+
+PlacementLedger::PlacementLedger(std::string vo, StorageDirectory& storage,
+                                 monitoring::MetricBus* bus,
+                                 monitoring::JobDatabase* accounting)
+    : vo_{std::move(vo)}, storage_{storage}, bus_{bus},
+      accounting_{accounting} {}
+
+void PlacementLedger::record(const StageOutLease& lease, const char* event,
+                             Time now, const char* counter,
+                             std::uint64_t value) {
+  if (bus_ != nullptr) {
+    bus_->publish(vo_, counter, now, static_cast<double>(value));
+  }
+  if (accounting_ != nullptr) {
+    accounting_->insert_lease({lease.id, now, vo_, lease.app,
+                               lease.dest_site, event, lease.size,
+                               lease.completion_site});
+  }
+}
+
+AcquireResult PlacementLedger::acquire(const std::string& dest_site,
+                                       Bytes size, const std::string& app,
+                                       const std::vector<std::string>& lfns,
+                                       Time now) {
+  StageOutLease lease;
+  lease.vo = vo_;
+  lease.app = app;
+  lease.dest_site = dest_site;
+  lease.size = size;
+  lease.lfns = lfns;
+  lease.acquired = now;
+
+  srm::StorageResourceManager* srm = storage_.storage(dest_site);
+  if (srm != nullptr) {
+    // Durable: cleanup sweeps must not reclaim the space while the job
+    // is still computing toward its stage-out.
+    const auto rid =
+        srm->reserve(vo_, size, srm::SpaceType::kDurable, now);
+    if (!rid.has_value()) {
+      ++rejected_;
+      record(lease, "reject", now, metric::kLeasesRejected, rejected_);
+      return {AcquireStatus::kDiskFull, 0};
+    }
+    lease.reservation = *rid;
+  } else if (srm::DiskVolume* vol = storage_.volume(dest_site);
+             vol != nullptr) {
+    // Probe mode: no SRM to hold the space, but a destination that is
+    // already too full to take the output is rejected now, not after
+    // the job has burned its compute cycles.
+    if (vol->free() < size) {
+      ++rejected_;
+      record(lease, "reject", now, metric::kLeasesRejected, rejected_);
+      return {AcquireStatus::kDiskFull, 0};
+    }
+  } else {
+    return {AcquireStatus::kNoStorage, 0};
+  }
+
+  lease.id = next_id_++;
+  ++acquired_;
+  record(lease, "acquire", now, metric::kLeasesAcquired, acquired_);
+  const LeaseId id = lease.id;
+  leases_.emplace(id, std::move(lease));
+  return {AcquireStatus::kLeased, id};
+}
+
+bool PlacementLedger::release(LeaseId id, Time now) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return false;
+  StageOutLease lease = std::move(it->second);
+  leases_.erase(it);
+  if (lease.reservation != 0) {
+    if (srm::StorageResourceManager* srm = storage_.storage(lease.dest_site)) {
+      srm->release(lease.reservation);
+    }
+  }
+  lease.state = LeaseState::kReleased;
+  ++released_;
+  record(lease, "release", now, metric::kLeasesReleased, released_);
+  return true;
+}
+
+bool PlacementLedger::consume(LeaseId id, const std::string& completion_site,
+                              Time now) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return false;
+  StageOutLease lease = std::move(it->second);
+  leases_.erase(it);
+  lease.completion_site = completion_site;
+  if (lease.reservation != 0) {
+    // The archived file outlives the reservation: convert the reserved
+    // space into a plain volume allocation, then drop the reservation.
+    // Net volume usage is unchanged; reserved_total() drains.
+    if (srm::StorageResourceManager* srm = storage_.storage(lease.dest_site)) {
+      srm->release(lease.reservation);
+      if (srm::DiskVolume* vol = storage_.volume(lease.dest_site)) {
+        (void)vol->allocate(lease.size);  // release just freed >= size
+      }
+    }
+  }
+  lease.state = LeaseState::kConsumed;
+  ++consumed_;
+  record(lease, "consume", now, metric::kLeasesConsumed, consumed_);
+  return true;
+}
+
+const StageOutLease* PlacementLedger::find(LeaseId id) const {
+  auto it = leases_.find(id);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+srm::StorageResourceManager* PlacementLedger::srm_for(LeaseId id) {
+  const StageOutLease* lease = find(id);
+  if (lease == nullptr || lease->reservation == 0) return nullptr;
+  return storage_.storage(lease->dest_site);
+}
+
+std::size_t PlacementLedger::active() const { return leases_.size(); }
+
+Bytes PlacementLedger::leased_bytes() const {
+  Bytes total;
+  for (const auto& [id, lease] : leases_) total += lease.size;
+  return total;
+}
+
+}  // namespace grid3::placement

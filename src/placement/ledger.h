@@ -1,0 +1,168 @@
+// Unified data-placement layer: stage-out leases.
+//
+// Grid2003 attributed a large share of job failures to storage
+// exhaustion discovered only at stage-out time (section 6.2: "more
+// frequently a disk would fill up ... and all jobs submitted to a site
+// would die"; "storage reservation (e.g., as provided by SRM) would
+// have prevented various storage-related service failures").  Before
+// this layer existed, placement knowledge was scattered: the planner
+// hard-coded stage-out destinations, the broker matched without asking
+// whether the destination SE had room, and the gatekeeper discovered
+// full disks after the compute cycles were already spent.
+//
+// A StageOutLease is one job's claim on its data destiny: the resolved
+// destination SE, an SRM space reservation covering the output volume
+// (when the SE runs an SRM), and the RLS registration intent.  The
+// per-VO PlacementLedger owns every lease:
+//
+//   * the broker ACQUIRES a lease at match time -- a full destination
+//     becomes a match-time rejection (the job waits in the broker)
+//     instead of a stage-out failure after hours of computing;
+//   * the gatekeeper's stage-out lands inside the lease's reservation,
+//     closing the bare-GridFTP TOCTOU window;
+//   * on success the lease is CONSUMED: the reservation converts into a
+//     durable file allocation and the actual completion site is
+//     recorded for downstream transfer pricing;
+//   * on every failure, hold, and rescue path the lease is RELEASED so
+//     reserved space never leaks (reserved_total() drains to zero once
+//     a scenario is fully drained).
+//
+// Every lifecycle event is published on the monitoring MetricBus and
+// mirrored into the ACDC job database.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "srm/disk.h"
+#include "srm/srm.h"
+#include "util/units.h"
+
+namespace grid3::monitoring {
+class MetricBus;
+class JobDatabase;
+}  // namespace grid3::monitoring
+
+namespace grid3::placement {
+
+/// Resolves site names to their storage services.  core::Grid3
+/// implements this alongside workflow::SiteServices; `volume` is the
+/// same member that serves that interface.
+class StorageDirectory {
+ public:
+  virtual ~StorageDirectory() = default;
+  /// The site's SRM head node, or null when the SE is unmanaged.
+  [[nodiscard]] virtual srm::StorageResourceManager* storage(
+      const std::string& site) = 0;
+  /// The site's disk volume, or null when the site is unknown.
+  [[nodiscard]] virtual srm::DiskVolume* volume(const std::string& site) = 0;
+};
+
+using LeaseId = std::uint64_t;
+
+enum class LeaseState { kActive, kConsumed, kReleased };
+
+/// One job's stage-out claim: destination SE + SRM reservation + RLS
+/// registration intent.
+struct StageOutLease {
+  LeaseId id = 0;
+  std::string vo;
+  std::string app;
+  std::string dest_site;
+  Bytes size;
+  /// SRM reservation backing the lease; 0 = probe mode (the destination
+  /// has no SRM, so the ledger could only verify free space at acquire
+  /// time -- the TOCTOU window stays open but hopeless matches are
+  /// still rejected up front).
+  srm::ReservationId reservation = 0;
+  std::vector<std::string> lfns;  ///< outputs to register on consume
+  Time acquired;
+  LeaseState state = LeaseState::kActive;
+  std::string completion_site;  ///< where the job really ran (on consume)
+};
+
+enum class AcquireStatus {
+  kLeased,     ///< space secured (reserved or probed)
+  kNoStorage,  ///< destination has no managed storage; proceed unleased
+  kDiskFull,   ///< destination cannot hold the output: reject the match
+};
+
+struct AcquireResult {
+  AcquireStatus status = AcquireStatus::kNoStorage;
+  LeaseId lease = 0;
+  [[nodiscard]] bool leased() const {
+    return status == AcquireStatus::kLeased;
+  }
+};
+
+/// Metric names the ledger publishes per VO (site key = VO name), so
+/// MDViewer can plot lease churn alongside gatekeeper load.
+namespace metric {
+inline constexpr const char* kLeasesAcquired = "placement.leases_acquired";
+inline constexpr const char* kLeasesConsumed = "placement.leases_consumed";
+inline constexpr const char* kLeasesReleased = "placement.leases_released";
+inline constexpr const char* kLeasesRejected = "placement.leases_rejected";
+}  // namespace metric
+
+class PlacementLedger {
+ public:
+  /// `bus` and `accounting` may be null (no monitoring mirror).
+  PlacementLedger(std::string vo, StorageDirectory& storage,
+                  monitoring::MetricBus* bus = nullptr,
+                  monitoring::JobDatabase* accounting = nullptr);
+  PlacementLedger(const PlacementLedger&) = delete;
+  PlacementLedger& operator=(const PlacementLedger&) = delete;
+
+  /// Secure stage-out space at `dest_site` for `size` bytes.  Durable
+  /// SRM reservation when the SE runs one (sweeps cannot reclaim it
+  /// mid-job); free-space probe otherwise.
+  [[nodiscard]] AcquireResult acquire(const std::string& dest_site,
+                                      Bytes size, const std::string& app,
+                                      const std::vector<std::string>& lfns,
+                                      Time now);
+
+  /// Give the space back (job failed, was held too long, or entered a
+  /// rescue DAG).  Idempotent; false when the lease is unknown.
+  bool release(LeaseId id, Time now);
+
+  /// The job archived its output: convert the reservation into a
+  /// durable file allocation on the destination volume (the SE keeps
+  /// the bytes; the reservation itself drains) and record where the job
+  /// actually ran.
+  bool consume(LeaseId id, const std::string& completion_site, Time now);
+
+  [[nodiscard]] const StageOutLease* find(LeaseId id) const;
+  /// SRM backing an active lease's reservation (null in probe mode).
+  [[nodiscard]] srm::StorageResourceManager* srm_for(LeaseId id);
+
+  [[nodiscard]] const std::string& vo() const { return vo_; }
+  [[nodiscard]] std::size_t active() const;
+  /// Bytes currently secured by active leases.
+  [[nodiscard]] Bytes leased_bytes() const;
+
+  // Lifetime counters (monotonic; also published on the bus).
+  [[nodiscard]] std::uint64_t acquired() const { return acquired_; }
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+  [[nodiscard]] std::uint64_t released() const { return released_; }
+  /// Match-time rejections: the disk-full failures that never happened.
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  void record(const StageOutLease& lease, const char* event, Time now,
+              const char* counter, std::uint64_t value);
+
+  std::string vo_;
+  StorageDirectory& storage_;
+  monitoring::MetricBus* bus_;
+  monitoring::JobDatabase* accounting_;
+  LeaseId next_id_ = 1;
+  std::map<LeaseId, StageOutLease> leases_;  ///< active only
+  std::uint64_t acquired_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t released_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace grid3::placement

@@ -57,6 +57,13 @@ struct ConcreteNode {
   Bytes bytes;                 ///< staged bytes for data nodes
   Bytes scratch;               ///< compute working space
   std::string source_site;     ///< stage-in source / stage-out origin
+  /// Index of the parent compute node `source_site` refers to, when the
+  /// input comes from a sibling job rather than a catalogued replica.
+  /// Late binding can move that parent: DAGMan rewrites `source_site`
+  /// from the parent's actual completion site before dispatching this
+  /// node, so transfer pricing follows where the data really landed.
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  std::size_t source_parent = kNoParent;
   int priority = 0;            ///< batch priority (< 0 = backfill)
   /// Late binding: present when the plan was made against a resource
   /// broker.  `site` is then only the planner's provisional placement;

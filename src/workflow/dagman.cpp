@@ -60,6 +60,22 @@ ConcreteDag DagMan::rescue_dag(const ConcreteDag& dag,
   return rescue;
 }
 
+ConcreteDag DagMan::rescue_dag_refreshed(const ConcreteDag& dag,
+                                         const DagRunStats& stats,
+                                         Time now) const {
+  ConcreteDag rescue = rescue_dag(dag, stats);
+  if (broker_ == nullptr) return rescue;
+  for (ConcreteNode& node : rescue.nodes) {
+    if (!node.broker_spec.has_value()) continue;
+    // Re-derive the eligible set from the broker's live view instead of
+    // resubmitting against the plan-time snapshot.
+    broker::JobSpec probe = *node.broker_spec;
+    probe.candidates.clear();
+    node.broker_spec->candidates = broker_->eligible(probe, now);
+  }
+  return rescue;
+}
+
 void DagMan::launch_ready(const std::shared_ptr<Run>& run) {
   for (std::size_t i = 0; i < run->dag.nodes.size(); ++i) {
     if (run->states[i] != NodeState::kPending) continue;
@@ -96,6 +112,16 @@ void DagMan::start_node(const std::shared_ptr<Run>& run, std::size_t idx) {
           job.stage_in = node.bytes;
           job.stage_in_source = services_.ftp(node.source_site);
         }
+        // Placement intent: the gatekeeper archives the output itself
+        // (no planned stage-out node), accounted against the archive
+        // SE's volume -- or inside the lease's SRM reservation once the
+        // broker acquires one and threads it into this job.
+        const broker::JobSpec& spec = *node.broker_spec;
+        if (spec.stage_out > Bytes::zero() && !spec.stage_out_site.empty()) {
+          job.stage_out = spec.stage_out;
+          job.stage_out_dest = services_.ftp(spec.stage_out_site);
+          job.stage_out_volume = services_.volume(spec.stage_out_site);
+        }
         broker_->submit(
             *node.broker_spec, std::move(job),
             [this, run, idx](const broker::BrokeredResult& br) {
@@ -122,6 +148,42 @@ void DagMan::start_node(const std::shared_ptr<Run>& run, std::size_t idx) {
                 } else {
                   r.site_problem = gram::is_site_problem(br.gram.status);
                   r.failure_class = gram::to_string(br.gram.status);
+                }
+              }
+              if (br.ok()) {
+                // Completion-site feedback: late binding may have moved
+                // the job off its provisional site.  Record where it
+                // really ran and repoint children that stage this node's
+                // output, so their stage-in source (and transfer
+                // pricing) follows the data.
+                ConcreteNode& executed = run->dag.nodes[idx];
+                if (!br.site.empty() && executed.site != br.site) {
+                  executed.site = br.site;
+                  for (std::size_t c : run->children[idx]) {
+                    ConcreteNode& child = run->dag.nodes[c];
+                    if (child.source_parent == idx) {
+                      child.source_site = br.site;
+                    }
+                  }
+                }
+                // Execute the registration intent: the gatekeeper just
+                // archived the outputs at the intent SE (inside the
+                // lease when one was held).
+                const broker::JobSpec& spec = *executed.broker_spec;
+                if (rls_ != nullptr && !spec.stage_out_site.empty() &&
+                    spec.stage_out > Bytes::zero() &&
+                    !spec.output_lfns.empty() &&
+                    services_.ftp(spec.stage_out_site) != nullptr) {
+                  const Bytes per_file = Bytes::of(
+                      spec.stage_out.count() /
+                      static_cast<std::int64_t>(spec.output_lfns.size()));
+                  for (const std::string& lfn : spec.output_lfns) {
+                    rls_->register_replica(
+                        spec.stage_out_site, lfn,
+                        {"gsiftp://" + spec.stage_out_site + "/" + lfn,
+                         per_file, sim_.now()},
+                        sim_.now());
+                  }
                 }
               }
               node_done(run, idx, std::move(r));

@@ -104,6 +104,15 @@ class DagMan {
   [[nodiscard]] static ConcreteDag rescue_dag(const ConcreteDag& dag,
                                               const DagRunStats& stats);
 
+  /// Rescue DAG with each node's late-binding candidate set refreshed
+  /// against the broker's live GIIS view: sites that left the view since
+  /// planning drop out, newly arrived sites join (name-sorted, so the
+  /// refresh is deterministic).  Identical to the static rescue_dag when
+  /// no broker is attached.
+  [[nodiscard]] ConcreteDag rescue_dag_refreshed(const ConcreteDag& dag,
+                                                 const DagRunStats& stats,
+                                                 Time now) const;
+
  private:
   enum class NodeState { kPending, kRunning, kDone, kFailed, kSkipped };
 

@@ -176,6 +176,7 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       s.site_preference = cfg.site_preference;
       s.data_inputs = job.inputs;
       s.rls = &rls_;
+      s.scratch = job.scratch;
       s.candidates = candidates;
       site = broker_->choose(s, now).value_or(candidates.front());
       spec = std::move(s);
@@ -259,7 +260,10 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       // jobmanager staging from the parent's provisional site instead.
       out.nodes[cc].bytes += dag.jobs[p].output_size;
       if (out.nodes[cc].source_site.empty()) {
+        // Provisional: DAGMan rewrites this from the parent's actual
+        // completion site once late binding resolves it.
         out.nodes[cc].source_site = out.nodes[cp].site;
+        out.nodes[cc].source_parent = cp;
       }
       if (out.nodes[cc].broker_spec.has_value()) {
         out.nodes[cc].broker_spec->stage_in += dag.jobs[p].output_size;
@@ -296,6 +300,18 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       continue;
     }
     const std::size_t ci = compute_index[i];
+    if (out.nodes[ci].broker_spec.has_value()) {
+      // Brokered plans carry the archive step as a placement intent
+      // instead of hard-coded stage-out/register nodes: the broker
+      // leases SRM space at the archive SE before binding, the
+      // gatekeeper's stage-out lands inside the lease, and DAGMan
+      // registers the outputs in RLS on success.
+      broker::JobSpec& bs = *out.nodes[ci].broker_spec;
+      bs.stage_out_site = cfg.archive_site;
+      bs.stage_out = job.output_size;
+      bs.output_lfns = job.outputs;
+      continue;
+    }
     ConcreteNode so;
     so.type = NodeType::kStageOut;
     so.name = "archive:" + job.derivation_id;

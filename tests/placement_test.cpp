@@ -1,0 +1,326 @@
+// Unit + integration tests for the unified data-placement layer:
+// PlacementLedger lease lifecycle, broker lease threading (full archive
+// = match-time hold, not a stage-out failure), and the drained-scenario
+// invariant that SRM reserved space returns to zero on every path.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/rank_policy.h"
+#include "core/grid3.h"
+#include "core/site.h"
+#include "pacman/vdt.h"
+#include "placement/ledger.h"
+#include "sim/simulation.h"
+#include "srm/disk.h"
+#include "srm/srm.h"
+#include "workflow/dagman.h"
+#include "workflow/planner.h"
+#include "workflow/vdc.h"
+
+namespace grid3::placement {
+namespace {
+
+/// Single-site stub for ledger unit tests.
+class StubDirectory : public StorageDirectory {
+ public:
+  srm::StorageResourceManager* srm = nullptr;
+  srm::DiskVolume* vol = nullptr;
+  srm::StorageResourceManager* storage(const std::string&) override {
+    return srm;
+  }
+  srm::DiskVolume* volume(const std::string&) override { return vol; }
+};
+
+TEST(PlacementLedger, AcquireReservesAndConsumeConvertsToAllocation) {
+  srm::DiskVolume disk{"se:/data", Bytes::gb(10)};
+  srm::StorageResourceManager srm{"se", disk};
+  StubDirectory dir;
+  dir.srm = &srm;
+  dir.vol = &disk;
+  PlacementLedger ledger{"usatlas", dir};
+
+  const auto res =
+      ledger.acquire("SE", Bytes::gb(2), "dc2", {"out"}, Time::zero());
+  ASSERT_TRUE(res.leased());
+  EXPECT_EQ(ledger.active(), 1u);
+  EXPECT_EQ(ledger.leased_bytes(), Bytes::gb(2));
+  EXPECT_EQ(srm.reserved_total(), Bytes::gb(2));
+  EXPECT_NE(ledger.srm_for(res.lease), nullptr);
+  ASSERT_NE(ledger.find(res.lease), nullptr);
+  EXPECT_NE(ledger.find(res.lease)->reservation, 0u);
+
+  EXPECT_TRUE(ledger.consume(res.lease, "BNL", Time::minutes(90)));
+  // The archived file persists as a plain allocation; the reservation
+  // itself has drained.
+  EXPECT_EQ(srm.reserved_total(), Bytes::zero());
+  EXPECT_EQ(disk.used(), Bytes::gb(2));
+  EXPECT_EQ(ledger.active(), 0u);
+  EXPECT_EQ(ledger.acquired(), 1u);
+  EXPECT_EQ(ledger.consumed(), 1u);
+}
+
+TEST(PlacementLedger, ReleaseReturnsEveryByte) {
+  srm::DiskVolume disk{"se:/data", Bytes::gb(10)};
+  srm::StorageResourceManager srm{"se", disk};
+  StubDirectory dir;
+  dir.srm = &srm;
+  dir.vol = &disk;
+  PlacementLedger ledger{"usatlas", dir};
+
+  const auto res =
+      ledger.acquire("SE", Bytes::gb(4), "dc2", {}, Time::zero());
+  ASSERT_TRUE(res.leased());
+  EXPECT_TRUE(ledger.release(res.lease, Time::minutes(5)));
+  EXPECT_EQ(srm.reserved_total(), Bytes::zero());
+  EXPECT_EQ(disk.used(), Bytes::zero());
+  EXPECT_EQ(ledger.released(), 1u);
+  // Idempotent: the lease is gone.
+  EXPECT_FALSE(ledger.release(res.lease, Time::minutes(6)));
+}
+
+TEST(PlacementLedger, FullDestinationRejects) {
+  srm::DiskVolume disk{"se:/data", Bytes::gb(3)};
+  srm::StorageResourceManager srm{"se", disk};
+  StubDirectory dir;
+  dir.srm = &srm;
+  dir.vol = &disk;
+  PlacementLedger ledger{"usatlas", dir};
+
+  const auto big =
+      ledger.acquire("SE", Bytes::gb(5), "dc2", {}, Time::zero());
+  EXPECT_EQ(big.status, AcquireStatus::kDiskFull);
+  EXPECT_EQ(ledger.rejected(), 1u);
+  EXPECT_EQ(ledger.active(), 0u);
+  EXPECT_EQ(srm.reserved_total(), Bytes::zero());
+}
+
+TEST(PlacementLedger, ProbeModeWithoutSrm) {
+  srm::DiskVolume disk{"host:/tape", Bytes::gb(3)};
+  StubDirectory dir;
+  dir.vol = &disk;  // no SRM: unmanaged endpoint
+  PlacementLedger ledger{"uscms", dir};
+
+  const auto ok =
+      ledger.acquire("HOST", Bytes::gb(2), "mop", {}, Time::zero());
+  ASSERT_TRUE(ok.leased());
+  // Probe mode holds no reservation; it only vetoed a hopeless match.
+  EXPECT_EQ(ledger.srm_for(ok.lease), nullptr);
+  EXPECT_EQ(ledger.find(ok.lease)->reservation, 0u);
+  EXPECT_EQ(disk.used(), Bytes::zero());
+  EXPECT_TRUE(ledger.release(ok.lease, Time::minutes(1)));
+
+  // A destination already too full is still rejected up front.
+  disk.consume_unmanaged(Bytes::gb(2));
+  const auto full =
+      ledger.acquire("HOST", Bytes::gb(2), "mop", {}, Time::minutes(2));
+  EXPECT_EQ(full.status, AcquireStatus::kDiskFull);
+  EXPECT_EQ(ledger.rejected(), 1u);
+}
+
+TEST(PlacementLedger, UnknownDestinationHasNoStorage) {
+  StubDirectory dir;
+  PlacementLedger ledger{"ivdgl", dir};
+  const auto res =
+      ledger.acquire("NOWHERE", Bytes::gb(1), "ex", {}, Time::zero());
+  EXPECT_EQ(res.status, AcquireStatus::kNoStorage);
+  EXPECT_EQ(res.lease, 0u);
+  EXPECT_EQ(ledger.acquired(), 0u);
+  EXPECT_EQ(ledger.rejected(), 0u);
+}
+
+/// One execution site plus an SRM-fronted archive SE with a small disk,
+/// brokered: the fabric every lease-lifecycle scenario runs against.
+class PlacementFixture : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  core::Grid3 grid{sim, 77};
+  vo::VomsProxy proxy;
+  int serial = 0;
+  std::optional<workflow::DagRunStats> stats;
+
+  void SetUp() override { setup({}); }
+
+  void setup(broker::BrokerConfig cfg) {
+    grid.add_vo("usatlas");
+    grid.attach_broker("usatlas", broker::PolicyKind::kQueueDepth, cfg);
+    pacman::add_application_package(grid.igoc().pacman_cache(), "app",
+                                    Time::minutes(5));
+    core::SiteConfig a;
+    a.name = "ALPHA";
+    a.owner_vo = "usatlas";
+    a.cpus = 16;
+    a.policy.max_walltime = Time::hours(48);
+    a.policy.dedicated = true;
+    core::SiteConfig se = a;
+    se.name = "ARCHIVE";
+    se.cpus = 2;
+    se.disk = Bytes::gb(3);  // a tight Tier1 SE
+    se.deploy_srm = true;
+    grid.add_site(a, /*reliability=*/1000.0);
+    grid.add_site(se, /*reliability=*/1000.0);
+    // The application runs only at ALPHA; ARCHIVE is storage-only.
+    grid.site("ALPHA")->install_application(grid.igoc().pacman_cache(),
+                                            "app");
+    const vo::Certificate cert =
+        grid.add_user("usatlas", "tester", vo::Role::kAppAdmin);
+    proxy = *grid.make_proxy(cert, "usatlas", Time::hours(400));
+    const std::vector<const vo::VomsServer*> servers{grid.voms("usatlas")};
+    grid.site("ALPHA")->refresh_gridmap(servers);
+    grid.site("ARCHIVE")->refresh_gridmap(servers);
+    for (const char* site : {"ALPHA", "ARCHIVE"}) {
+      grid.site(site)->gatekeeper().set_submission_flake_rate(0.0);
+      grid.site(site)->gatekeeper().set_environment_error_rate(0.0);
+    }
+    grid.start_operations();
+    sim.run_until(Time::minutes(1));
+  }
+
+  /// Single-derivation workflow archiving one ~1 GB output to ARCHIVE.
+  std::optional<workflow::ConcreteDag> plan_one() {
+    workflow::VirtualDataCatalog vdc;
+    vdc.add_transformation({"tf", "1", "app"});
+    workflow::Derivation d;
+    d.id = "job" + std::to_string(serial);
+    d.transformation = "tf";
+    d.outputs = {"out" + std::to_string(serial)};
+    ++serial;
+    d.runtime = Time::hours(1);
+    d.output_size = Bytes::gb(1);
+    d.scratch = Bytes::gb(1);
+    vdc.add_derivation(d);
+    const auto dag = vdc.request(d.outputs);
+    workflow::PegasusPlanner planner{grid.igoc().top_giis(),
+                                     *grid.rls("usatlas")};
+    planner.set_broker(grid.broker("usatlas"));
+    workflow::PlannerConfig cfg;
+    cfg.vo = "usatlas";
+    cfg.archive_site = "ARCHIVE";
+    util::Rng rng{9};
+    return planner.plan(*dag, cfg, rng, sim.now());
+  }
+
+  /// Plans and launches one workflow; the result lands in `stats`.
+  void run_one() {
+    auto plan = plan_one();
+    ASSERT_TRUE(plan.has_value());
+    grid.dagman("usatlas").run(std::move(*plan), proxy,
+                               [this](const workflow::DagRunStats& s) {
+                                 stats = s;
+                               });
+  }
+
+  [[nodiscard]] srm::StorageResourceManager& archive_srm() {
+    return *grid.site("ARCHIVE")->storage_element();
+  }
+};
+
+TEST_F(PlacementFixture, LeaseConsumedOnSuccessAndOutputRegistered) {
+  auto plan = plan_one();
+  ASSERT_TRUE(plan.has_value());
+  // The intent rides the compute node; no stage-out/register nodes.
+  EXPECT_EQ(plan->count(workflow::NodeType::kStageOut), 0u);
+  EXPECT_EQ(plan->count(workflow::NodeType::kRegister), 0u);
+
+  grid.dagman("usatlas").run(std::move(*plan), proxy,
+                             [this](const workflow::DagRunStats& s) {
+                               stats = s;
+                             });
+  sim.run_until(sim.now() + Time::days(1));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->success);
+
+  PlacementLedger* ledger = grid.placement("usatlas");
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_EQ(ledger->acquired(), 1u);
+  EXPECT_EQ(ledger->consumed(), 1u);
+  EXPECT_EQ(ledger->active(), 0u);
+  // The reservation drained into a durable allocation at the SE.
+  EXPECT_EQ(archive_srm().reserved_total(), Bytes::zero());
+  EXPECT_GE(grid.site("ARCHIVE")->disk().used(), Bytes::gb(1));
+  // DAGMan executed the registration intent.
+  EXPECT_FALSE(grid.rls("usatlas")->locate("out0", sim.now()).empty());
+  // Both the broker and the ledger published their counters.
+  EXPECT_FALSE(grid.igoc()
+                   .bus()
+                   .series("usatlas", metric::kLeasesAcquired)
+                   .empty());
+  EXPECT_FALSE(grid.igoc()
+                   .bus()
+                   .series("usatlas", broker::metric::kMatches)
+                   .empty());
+}
+
+TEST_F(PlacementFixture, LeasesReleasedWhenSubmissionsFail) {
+  // Every execution site dead: the broker re-matches until rebinds
+  // exhaust.  Each attempt's lease must come back.
+  grid.site("ALPHA")->gatekeeper().set_available(false);
+  run_one();
+  sim.run_until(sim.now() + Time::days(2));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->success);
+  PlacementLedger* ledger = grid.placement("usatlas");
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_GT(ledger->acquired(), 0u);
+  EXPECT_EQ(ledger->released(), ledger->acquired());
+  EXPECT_EQ(ledger->consumed(), 0u);
+  EXPECT_EQ(ledger->active(), 0u);
+  // The drained-scenario invariant: no reserved byte leaks.
+  EXPECT_EQ(archive_srm().reserved_total(), Bytes::zero());
+  EXPECT_EQ(grid.site("ARCHIVE")->disk().used(), Bytes::zero());
+}
+
+TEST_F(PlacementFixture, FullArchiveHoldsMatchUntilSpaceFrees) {
+  // Fill the 3 GB archive so a 1 GB lease cannot be reserved, then free
+  // it an hour in: the job waits in the broker and then completes.
+  srm::DiskVolume& disk = grid.site("ARCHIVE")->disk();
+  disk.consume_unmanaged(Bytes::mb(2500));
+  sim.schedule_in(Time::hours(1), [&] { disk.cleanup(Bytes::mb(2500)); });
+
+  run_one();
+  sim.run_until(sim.now() + Time::days(1));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->success);
+  broker::ResourceBroker* b = grid.broker("usatlas");
+  PlacementLedger* ledger = grid.placement("usatlas");
+  EXPECT_GT(b->storage_holds(), 0u);
+  EXPECT_GT(ledger->rejected(), 0u);
+  EXPECT_EQ(ledger->consumed(), 1u);
+  EXPECT_EQ(ledger->active(), 0u);
+  EXPECT_EQ(archive_srm().reserved_total(), Bytes::zero());
+  EXPECT_GE(disk.used(), Bytes::gb(1));
+}
+
+/// Same fabric with a short broker max-hold, for the permanent-full case.
+class ShortHoldPlacementFixture : public PlacementFixture {
+ protected:
+  void SetUp() override {
+    broker::BrokerConfig cfg;
+    cfg.max_hold = Time::hours(2);
+    setup(cfg);
+  }
+};
+
+TEST_F(ShortHoldPlacementFixture, FullArchiveForeverFailsAsDiskFull) {
+  grid.site("ARCHIVE")->disk().consume_unmanaged(Bytes::gb(3));
+  run_one();
+  sim.run_until(sim.now() + Time::days(3));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->success);
+  // The disk-full class surfaced at match time, attributed correctly.
+  const workflow::NodeResult& r = stats->node_results[0];
+  EXPECT_EQ(r.gram_status, gram::GramStatus::kDiskFull);
+  EXPECT_EQ(r.failure_class, "disk-full");
+  PlacementLedger* ledger = grid.placement("usatlas");
+  EXPECT_GT(ledger->rejected(), 0u);
+  EXPECT_EQ(ledger->active(), 0u);
+  EXPECT_EQ(archive_srm().reserved_total(), Bytes::zero());
+  // No compute cycles were wasted on a doomed stage-out.
+  EXPECT_EQ(grid.site("ALPHA")->gatekeeper().submissions(), 0u);
+}
+
+}  // namespace
+}  // namespace grid3::placement

@@ -2,6 +2,8 @@
 // structures, Pegasus planning, DAGMan execution.
 #include <gtest/gtest.h>
 
+#include "broker/broker.h"
+#include "broker/rank_policy.h"
 #include "core/grid3.h"
 #include "core/site.h"
 #include "mds/schema.h"
@@ -344,6 +346,242 @@ TEST_F(WorkflowFixture, CrossSitePlacementInsertsStageNodes) {
     saw_stage_in = plan->count(NodeType::kStageIn) > 0;
   }
   EXPECT_TRUE(saw_stage_in);
+}
+
+/// WorkflowFixture with a late-binding broker attached (queue-depth
+/// ranking: deterministic argmax over free CPUs).
+class BrokeredWorkflowFixture : public WorkflowFixture {
+ protected:
+  void SetUp() override {
+    WorkflowFixture::SetUp();
+    grid.attach_broker("usatlas", broker::PolicyKind::kQueueDepth);
+  }
+
+  PegasusPlanner make_planner() {
+    PegasusPlanner planner{grid.igoc().top_giis(), *grid.rls("usatlas")};
+    planner.set_broker(grid.broker("usatlas"));
+    return planner;
+  }
+
+  static std::size_t index_of(const ConcreteDag& dag,
+                              const std::string& name) {
+    for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+      if (dag.nodes[i].name == name) return i;
+    }
+    ADD_FAILURE() << "no node named " << name;
+    return 0;
+  }
+};
+
+TEST_F(BrokeredWorkflowFixture, BrokeredPlanCarriesPlacementIntent) {
+  auto planner = make_planner();
+  PlannerConfig cfg;
+  cfg.vo = "usatlas";
+  cfg.archive_site = "ALPHA";
+  util::Rng rng{6};
+  const auto plan = planner.plan(two_step(), cfg, rng, sim.now());
+  ASSERT_TRUE(plan.has_value());
+  // The archive step travels as a placement intent on the final compute
+  // node, not as hard-coded stage-out/register nodes.
+  EXPECT_EQ(plan->count(NodeType::kStageOut), 0u);
+  EXPECT_EQ(plan->count(NodeType::kRegister), 0u);
+  ASSERT_EQ(plan->count(NodeType::kCompute), 2u);
+  const auto& final_spec = plan->nodes[index_of(*plan, "s2")].broker_spec;
+  ASSERT_TRUE(final_spec.has_value());
+  EXPECT_EQ(final_spec->stage_out_site, "ALPHA");
+  EXPECT_EQ(final_spec->stage_out, Bytes::gb(1));
+  EXPECT_EQ(final_spec->output_lfns, (std::vector<std::string>{"out"}));
+  // The intermediate derivation is consumed in-DAG: no intent.
+  const auto& mid_spec = plan->nodes[index_of(*plan, "s1")].broker_spec;
+  ASSERT_TRUE(mid_spec.has_value());
+  EXPECT_TRUE(mid_spec->stage_out_site.empty());
+}
+
+TEST_F(BrokeredWorkflowFixture, CompletionSiteFeedsBackIntoChildren) {
+  // The child's transformation exists only at BETA; the parent runs
+  // anywhere and is provisionally placed at ALPHA (deeper queue).  With
+  // ALPHA's gatekeeper down at dispatch the broker re-binds the parent
+  // to BETA, and the child must then stage its input from BETA -- not
+  // from the provisional site the planner guessed.
+  pacman::add_application_package(grid.igoc().pacman_cache(), "appb",
+                                  Time::minutes(5));
+  grid.site("BETA")->install_application(grid.igoc().pacman_cache(), "appb");
+  VirtualDataCatalog vdc;
+  vdc.add_transformation({"tf", "1", "app"});
+  vdc.add_transformation({"tfb", "1", "appb"});
+  vdc.add_derivation(make_derivation("p", {}, {"mid"}));
+  Derivation c = make_derivation("c", {"mid"}, {"out"});
+  c.transformation = "tfb";
+  vdc.add_derivation(c);
+
+  auto planner = make_planner();
+  PlannerConfig cfg;
+  cfg.vo = "usatlas";
+  util::Rng rng{7};
+  auto plan = planner.plan(*vdc.request({"out"}), cfg, rng, sim.now());
+  ASSERT_TRUE(plan.has_value());
+  const std::size_t pi = index_of(*plan, "p");
+  const std::size_t ci = index_of(*plan, "c");
+  ASSERT_EQ(plan->nodes[pi].site, "ALPHA");  // provisional: 16 > 8 free
+  ASSERT_EQ(plan->nodes[ci].site, "BETA");   // only site with appb
+  // The fold recorded the provisional staging source and its producer.
+  EXPECT_EQ(plan->nodes[ci].source_site, "ALPHA");
+  EXPECT_EQ(plan->nodes[ci].source_parent, pi);
+
+  grid.site("ALPHA")->gatekeeper().set_available(false);
+  std::optional<DagRunStats> stats;
+  grid.dagman("usatlas").run(std::move(*plan), proxy,
+                             [&](const DagRunStats& s) { stats = s; });
+  sim.run_until(sim.now() + Time::days(2));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->success);
+  // Late binding moved the parent; the child's recorded staging source
+  // followed the data to the actual completion site.
+  EXPECT_EQ(stats->node_results[pi].site, "BETA");
+  EXPECT_EQ(stats->node_results[ci].source_site, "BETA");
+}
+
+TEST_F(BrokeredWorkflowFixture, RescueRefreshDropsDepartedSites) {
+  auto planner = make_planner();
+  PlannerConfig cfg;
+  cfg.vo = "usatlas";
+  util::Rng rng{8};
+  auto plan = planner.plan(two_step(), cfg, rng, sim.now());
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& n : plan->nodes) {
+    ASSERT_TRUE(n.broker_spec.has_value());
+    ASSERT_EQ(n.broker_spec->candidates.size(), 2u);
+  }
+  const ConcreteDag original = *plan;  // run() consumes the plan
+
+  grid.site("ALPHA")->gatekeeper().set_available(false);
+  grid.site("BETA")->gatekeeper().set_available(false);
+  std::optional<DagRunStats> stats;
+  grid.dagman("usatlas").run(std::move(*plan), proxy,
+                             [&](const DagRunStats& s) { stats = s; });
+  sim.run_until(sim.now() + Time::days(2));
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_FALSE(stats->success);
+  ASSERT_FALSE(stats->rescue.empty());
+
+  // ALPHA recovers, but BETA leaves the grid entirely: its GRIS drops
+  // out of the VO index.  Wait past the view TTLs so the broker's live
+  // view notices before the rescue DAG is rebuilt.
+  grid.site("ALPHA")->gatekeeper().set_available(true);
+  grid.vo_giis("usatlas")->deregister_gris("BETA");
+  sim.run_until(sim.now() + Time::minutes(6));
+
+  const ConcreteDag rescue = grid.dagman("usatlas").rescue_dag_refreshed(
+      original, *stats, sim.now());
+  ASSERT_FALSE(rescue.nodes.empty());
+  for (const auto& n : rescue.nodes) {
+    ASSERT_TRUE(n.broker_spec.has_value());
+    EXPECT_EQ(n.broker_spec->candidates, (std::vector<std::string>{"ALPHA"}));
+  }
+}
+
+/// Self-contained brokered two-site fabric, constructible twice in one
+/// test body for determinism comparisons (a fixture instance cannot be).
+struct BrokeredFabric {
+  sim::Simulation sim;
+  core::Grid3 grid{sim, 77};
+  vo::VomsProxy proxy;
+
+  BrokeredFabric() {
+    grid.add_vo("usatlas");
+    pacman::add_application_package(grid.igoc().pacman_cache(), "app",
+                                    Time::minutes(5));
+    core::SiteConfig a;
+    a.name = "ALPHA";
+    a.owner_vo = "usatlas";
+    a.cpus = 16;
+    a.policy.max_walltime = Time::hours(48);
+    a.policy.dedicated = true;
+    core::SiteConfig b = a;
+    b.name = "BETA";
+    b.cpus = 8;
+    grid.add_site(a, /*reliability=*/1000.0);
+    grid.add_site(b, /*reliability=*/1000.0);
+    grid.site("ALPHA")->install_application(grid.igoc().pacman_cache(),
+                                            "app");
+    grid.site("BETA")->install_application(grid.igoc().pacman_cache(),
+                                           "app");
+    const vo::Certificate cert =
+        grid.add_user("usatlas", "tester", vo::Role::kAppAdmin);
+    proxy = *grid.make_proxy(cert, "usatlas", Time::hours(200));
+    const std::vector<const vo::VomsServer*> servers{grid.voms("usatlas")};
+    grid.site("ALPHA")->refresh_gridmap(servers);
+    grid.site("BETA")->refresh_gridmap(servers);
+    for (const char* site : {"ALPHA", "BETA"}) {
+      grid.site(site)->gatekeeper().set_submission_flake_rate(0.0);
+      grid.site(site)->gatekeeper().set_environment_error_rate(0.0);
+    }
+    grid.attach_broker("usatlas", broker::PolicyKind::kQueueDepth);
+    grid.start_operations();
+    sim.run_until(Time::minutes(1));
+  }
+
+  /// Plan the two-step chain, run it with both gatekeepers down (every
+  /// node fails after rebind exhaustion), then refresh the rescue DAG
+  /// from the recovered live view.
+  ConcreteDag failed_run_and_refresh() {
+    VirtualDataCatalog vdc;
+    vdc.add_transformation({"tf", "1", "app"});
+    vdc.add_derivation(make_derivation("s1", {}, {"mid"}));
+    vdc.add_derivation(make_derivation("s2", {"mid"}, {"out"}));
+    PegasusPlanner planner{grid.igoc().top_giis(), *grid.rls("usatlas")};
+    planner.set_broker(grid.broker("usatlas"));
+    PlannerConfig cfg;
+    cfg.vo = "usatlas";
+    cfg.archive_site = "ALPHA";
+    util::Rng rng{11};
+    auto plan = planner.plan(*vdc.request({"out"}), cfg, rng, sim.now());
+    if (!plan.has_value()) {
+      ADD_FAILURE() << "plan failed";
+      return {};
+    }
+    const ConcreteDag original = *plan;
+    grid.site("ALPHA")->gatekeeper().set_available(false);
+    grid.site("BETA")->gatekeeper().set_available(false);
+    std::optional<DagRunStats> stats;
+    grid.dagman("usatlas").run(std::move(*plan), proxy,
+                               [&](const DagRunStats& s) { stats = s; });
+    sim.run_until(sim.now() + Time::days(2));
+    if (!stats.has_value() || stats->success) {
+      ADD_FAILURE() << "expected a failed run";
+      return {};
+    }
+    grid.site("ALPHA")->gatekeeper().set_available(true);
+    grid.site("BETA")->gatekeeper().set_available(true);
+    sim.run_until(sim.now() + Time::minutes(6));
+    return grid.dagman("usatlas").rescue_dag_refreshed(original, *stats,
+                                                       sim.now());
+  }
+};
+
+TEST(BrokeredDeterminism, RescueRefreshIsReproducible) {
+  BrokeredFabric f1;
+  BrokeredFabric f2;
+  const ConcreteDag r1 = f1.failed_run_and_refresh();
+  const ConcreteDag r2 = f2.failed_run_and_refresh();
+  // The failed runs made identical match decisions...
+  EXPECT_EQ(f1.grid.broker("usatlas")->serialize_match_log(),
+            f2.grid.broker("usatlas")->serialize_match_log());
+  EXPECT_FALSE(f1.grid.broker("usatlas")->serialize_match_log().empty());
+  // ...and the refreshed rescue plans are structurally identical.
+  ASSERT_EQ(r1.nodes.size(), r2.nodes.size());
+  ASSERT_FALSE(r1.nodes.empty());
+  for (std::size_t i = 0; i < r1.nodes.size(); ++i) {
+    EXPECT_EQ(r1.nodes[i].name, r2.nodes[i].name);
+    EXPECT_EQ(r1.nodes[i].site, r2.nodes[i].site);
+    ASSERT_EQ(r1.nodes[i].broker_spec.has_value(),
+              r2.nodes[i].broker_spec.has_value());
+    if (r1.nodes[i].broker_spec.has_value()) {
+      EXPECT_EQ(r1.nodes[i].broker_spec->candidates,
+                r2.nodes[i].broker_spec->candidates);
+      EXPECT_FALSE(r1.nodes[i].broker_spec->candidates.empty());
+    }
+  }
 }
 
 }  // namespace
