@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's Markdown files.
+
+Checks every inline Markdown link ``[text](target)`` whose target is a
+relative path (external URLs and pure in-page anchors are skipped) and
+verifies the target exists relative to the file containing the link.
+Anchor fragments on relative links (``FILE.md#section``) are checked
+for file existence only. Standard library only; exits non-zero with
+one line per broken link.
+"""
+import os
+import re
+import sys
+
+# Inline links only; reference-style definitions are rare enough here
+# that the inline pattern covers the repo. Targets must not contain
+# whitespace or a closing paren (Markdown would not parse those either).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", ".github"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://", "gsiftp://")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), rel))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = 0
+    for path in sorted(md_files(root)):
+        for lineno, target in check_file(path, root):
+            print(f"{os.path.relpath(path, root)}:{lineno}: "
+                  f"broken relative link: {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print("all relative Markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

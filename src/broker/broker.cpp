@@ -98,19 +98,49 @@ std::vector<std::string> ResourceBroker::eligible(const JobSpec& spec,
 
 namespace {
 
-/// Storage-headroom rank factor: sites whose disks barely cover the
-/// job's local footprint (scratch + staged input) are downweighted, and
-/// sites that would fail the scratch allocation outright become a last
-/// resort.  Disk-full thereby shifts from a submit-time failure to a
-/// rank penalty.
-double storage_headroom(const JobSpec& spec, const SiteView& site) {
-  const double need_gb = (spec.stage_in + spec.scratch).to_gb();
+/// Storage-headroom rank factor for `need_gb` of local footprint: sites
+/// whose disks barely cover it are downweighted, and sites that would
+/// fail the allocation outright become a last resort.  Disk-full
+/// thereby shifts from a submit-time failure to a rank penalty.
+double storage_headroom_for(double need_gb, const SiteView& site) {
   if (need_gb <= 0.0 || site.se_free_gb <= 0.0) return 1.0;
   if (site.se_free_gb <= need_gb) return 0.01;
   return std::min(1.0, site.se_free_gb / (8.0 * need_gb));
 }
 
+double storage_headroom(const JobSpec& spec, const SiteView& site) {
+  return storage_headroom_for((spec.stage_in + spec.scratch).to_gb(), site);
+}
+
 }  // namespace
+
+double ResourceBroker::effective_score(const JobSpec& spec,
+                                       const SiteView& site, Time now) const {
+  double score;
+  // The view's free-CPU count is stale within the TTL: submissions this
+  // broker already has in flight there have not been seen by the GIIS.
+  // Score against the net free slots so a burst of siblings does not
+  // all pile onto the site that looked emptiest five minutes ago.
+  if (const int inf = inflight(site.site); inf > 0) {
+    SiteView adjusted = site;
+    adjusted.free_cpus = std::max(0, site.free_cpus - inf);
+    score = policy_->score(spec, adjusted, now);
+  } else {
+    score = policy_->score(spec, site, now);
+  }
+  // Placement-aware ranking only with a ledger attached, so the
+  // ledger-free broker keeps its established match log byte-for-byte.
+  if (ledger_ != nullptr) score *= storage_headroom(spec, site);
+  // Data affinity: the site already holding this job's input data
+  // (typically a sibling's intermediate product) is boosted so the
+  // consumer chases its data instead of pricing a WAN transfer.  The
+  // hint stands on its own: a provisionally co-located consumer carries
+  // no folded stage-in bytes, yet its data is just as immobile.
+  if (!spec.source_site.empty() && site.site == spec.source_site) {
+    score *= cfg_.source_affinity;
+  }
+  return score;
+}
 
 const SiteView* ResourceBroker::rank_and_pick(
     const JobSpec& spec, const std::vector<const SiteView*>& sites, Time now,
@@ -119,11 +149,7 @@ const SiteView* ResourceBroker::rank_and_pick(
   std::vector<double> scores;
   scores.reserve(sites.size());
   for (const SiteView* s : sites) {
-    double score = policy_->score(spec, *s, now);
-    // Placement-aware ranking only with a ledger attached, so the
-    // ledger-free broker keeps its established match log byte-for-byte.
-    if (ledger_ != nullptr) score *= storage_headroom(spec, *s);
-    scores.push_back(score);
+    scores.push_back(effective_score(spec, *s, now));
   }
   std::size_t pick = 0;
   if (policy_->stochastic()) {
@@ -169,6 +195,179 @@ void ResourceBroker::submit(JobSpec spec, gram::GramJob job,
   p->done = std::move(done);
   p->created = sim_.now();
   try_match(p);
+}
+
+int ResourceBroker::gang_capacity(const SiteView& site) const {
+  const int inf = inflight(site.site);
+  // Free slots the view advertises, net of what this broker already has
+  // in flight there, bounded by the per-site throttle.
+  int cap = std::min(site.free_cpus - inf, cfg_.max_inflight_per_site - inf);
+  // Load-ceiling headroom in burst units: submitting n gang members in
+  // the same minute adds n * burst_weight to the gatekeeper's section
+  // 6.4 burst term, so the site can absorb at most headroom/burst_weight
+  // members before the broker's own ceiling would be crossed.
+  const gram::Gatekeeper* gk = gatekeepers_.gatekeeper(site.site);
+  const double burst_weight =
+      gk != nullptr ? gk->config().burst_weight : 0.0;
+  if (burst_weight > 0.0) {
+    const double headroom = cfg_.load_ceiling - predicted_load(site);
+    if (headroom <= 0.0) return 0;
+    cap = std::min(cap, static_cast<int>(headroom / burst_weight));
+  }
+  return std::max(cap, 0);
+}
+
+GangPlacement ResourceBroker::match_gang(const GangSpec& gang, Time now) {
+  GangPlacement out;
+  out.member_sites.assign(gang.members.size(), std::string{});
+  if (gang.members.empty()) return out;
+  view(now);
+
+  // The level's aggregate disk footprint at one site: every member's
+  // stage-in + scratch plus the intermediates the level parks for its
+  // consumers.  This is what the gang lease will reserve.
+  double need_gb = gang.intermediates.to_gb();
+  for (const JobSpec& m : gang.members) {
+    need_gb += (m.stage_in + m.scratch).to_gb();
+  }
+
+  struct Candidate {
+    const SiteView* site;
+    double score;
+    int capacity;
+  };
+  std::vector<Candidate> pool;
+  const JobSpec& representative = gang.members.front();
+  for (const SiteView& v : view_) {
+    if (gatekeepers_.gatekeeper(v.site) == nullptr) continue;
+    bool all_eligible = true;
+    for (const JobSpec& m : gang.members) {
+      if (!meets_requirements(m, v)) {
+        all_eligible = false;
+        break;
+      }
+    }
+    if (!all_eligible) continue;
+    const int cap = gang_capacity(v);
+    if (cap <= 0) continue;
+    // Rank sites, not jobs: the policy scores the representative member
+    // against the view net of in-flight bindings, then the whole
+    // level's footprint sets the storage headroom (ledger-gated like
+    // per-job ranking, so the ledger-free broker stays byte-identical).
+    SiteView adjusted = v;
+    adjusted.free_cpus = std::max(0, v.free_cpus - inflight(v.site));
+    double score = policy_->score(representative, adjusted, now);
+    if (ledger_ != nullptr) score *= storage_headroom_for(need_gb, v);
+    pool.push_back({&v, score, cap});
+  }
+  if (pool.empty()) return out;
+
+  const int width = static_cast<int>(gang.members.size());
+
+  // Whole fit: the best site whose capacity covers the gang width takes
+  // every member.  Deterministic argmax; ties go to the first candidate
+  // in name order (view_ is name-sorted), matching rank_and_pick.
+  const Candidate* whole = nullptr;
+  for (const Candidate& c : pool) {
+    if (c.capacity < width) continue;
+    if (whole == nullptr || c.score > whole->score) whole = &c;
+  }
+  if (whole != nullptr) {
+    out.placed = true;
+    out.primary = whole->site->site;
+    out.primary_members = gang.members.size();
+    for (auto& s : out.member_sites) s = out.primary;
+    return out;
+  }
+
+  // Split fallback (policy documented on GangPlacement): order sites by
+  // score (ties by name -- stable sort preserves the name order the
+  // pool was built in), then assign members greedily in member order,
+  // each site taking up to its capacity.
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+  std::size_t next = 0;
+  std::size_t best_count = 0;
+  for (const Candidate& c : pool) {
+    if (next >= gang.members.size()) break;
+    const std::size_t take =
+        std::min<std::size_t>(static_cast<std::size_t>(c.capacity),
+                              gang.members.size() - next);
+    if (take == 0) continue;
+    for (std::size_t i = 0; i < take; ++i) {
+      out.member_sites[next++] = c.site->site;
+    }
+    // Primary = most members; ties to the better-ranked (earlier) site.
+    if (take > best_count) {
+      best_count = take;
+      out.primary = c.site->site;
+      out.primary_members = take;
+    }
+  }
+  out.placed = next > 0;
+  out.split = out.placed;
+  return out;
+}
+
+void ResourceBroker::submit_gang(GangSpec gang,
+                                 std::vector<gram::GramJob> jobs,
+                                 GangMemberCallback done) {
+  const Time now = sim_.now();
+  const GangPlacement placement = match_gang(gang, now);
+  ++gang_matches_;
+  publish_counter(metric::kGangMatches, gang_matches_);
+  if (placement.split) {
+    ++gang_splits_;
+    publish_counter(metric::kGangSplits, gang_splits_);
+  }
+  if (accounting_ != nullptr && !gang.members.empty()) {
+    accounting_->insert_gang({gang_matches_, now, gang.members.front().vo,
+                              gang.gang_id, placement.primary,
+                              gang.members.size(), placement.placed,
+                              placement.split, gang.intermediates});
+  }
+
+  auto state = std::make_shared<GangState>();
+  state->id = gang.gang_id;
+  state->outstanding = static_cast<int>(gang.members.size());
+
+  // Gang-scoped lease: reserve the level's intermediate products at the
+  // primary before any member binds.  On a split only the primary's
+  // pro-rated share is reserved -- off-primary intermediates cross the
+  // WAN regardless, so holding primary disk for them would just starve
+  // other gangs.  kNoStorage (unmanaged SE) and kDiskFull both degrade
+  // to an unleased gang rather than blocking the level.
+  if (placement.placed && ledger_ != nullptr && cfg_.placement_leases &&
+      gang.intermediates > Bytes::zero()) {
+    Bytes share = gang.intermediates;
+    if (placement.split) {
+      share = Bytes::of(gang.intermediates.count() *
+                        static_cast<std::int64_t>(placement.primary_members) /
+                        static_cast<std::int64_t>(gang.members.size()));
+    }
+    if (share > Bytes::zero()) {
+      const auto res = ledger_->acquire(placement.primary, share,
+                                        "gang:" + gang.gang_id, {}, now);
+      if (res.leased()) state->lease = res.lease;
+    }
+  }
+
+  auto member_done = std::make_shared<GangMemberCallback>(std::move(done));
+  for (std::size_t i = 0; i < gang.members.size(); ++i) {
+    ++submissions_;
+    auto p = std::make_shared<Pending>();
+    p->spec = std::move(gang.members[i]);
+    if (i < jobs.size()) p->job = std::move(jobs[i]);
+    p->created = now;
+    p->gang = state;
+    p->gang_site = placement.member_sites[i];
+    p->done = [member_done, i](const BrokeredResult& r) {
+      (*member_done)(i, r);
+    };
+    try_match(p);
+  }
 }
 
 double ResourceBroker::predicted_load(const SiteView& site) const {
@@ -311,7 +510,23 @@ void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
   p->storage_blocked = false;
 
   double score = 0.0;
-  const SiteView* picked = rank_and_pick(p->spec, pool, now, &score);
+  const SiteView* picked = nullptr;
+  // Gang members pin their first match to the site the gang placement
+  // assigned, provided it is still admissible (it can saturate between
+  // match_gang and this submission).  The pin is one-shot: re-matches
+  // after a transient failure rank freely, since the failure already
+  // broke the co-location.
+  if (!p->gang_site.empty()) {
+    for (const SiteView* s : pool) {
+      if (s->site == p->gang_site) {
+        picked = s;
+        score = effective_score(p->spec, *s, now);
+        break;
+      }
+    }
+    p->gang_site.clear();
+  }
+  if (picked == nullptr) picked = rank_and_pick(p->spec, pool, now, &score);
   record_match(*p, *picked, score, pool.size());
 
   p->bound_site = picked->site;
@@ -402,10 +617,26 @@ void ResourceBroker::kick_waiting() {
 void ResourceBroker::finish(const std::shared_ptr<Pending>& p,
                             BrokeredResult result) {
   drop_lease(*p, false);  // no-op unless a path left one behind
+  leave_gang(*p);
   if (p->done) {
     auto done = std::move(p->done);
     p->done = nullptr;
     done(result);
+  }
+}
+
+void ResourceBroker::leave_gang(Pending& p) {
+  if (p.gang == nullptr) return;
+  auto gang = std::move(p.gang);
+  p.gang = nullptr;
+  if (--gang->outstanding > 0) return;
+  // Last member out: release the gang-scoped intermediates reservation.
+  // Clearing `lease` first makes the release single-shot even if a
+  // future path ever re-enters (success, failure, hold-expiry, and
+  // rescue all drain through finish -> leave_gang).
+  if (const placement::LeaseId lease = gang->lease; lease != 0) {
+    gang->lease = 0;
+    if (ledger_ != nullptr) ledger_->release(lease, sim_.now());
   }
 }
 

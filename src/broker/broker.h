@@ -19,6 +19,15 @@
 //     brokered submissions cannot drive the section 6.4 load model past
 //     its overload knee; jobs with no admissible site wait inside the
 //     broker instead of piling onto a saturated gatekeeper.
+//  4. Gang matching: the sibling jobs of one DAG level (CMS/ATLAS
+//     production stages whose outputs feed a common merge) are matched
+//     as a unit.  match_gang ranks *sites* by whether the whole gang
+//     fits -- free slots against the gang width, storage headroom for
+//     the level's aggregate intermediates, and the predicted gatekeeper
+//     burst of submitting the whole level at once -- and binds every
+//     member to one site so intermediate products stay on local shared
+//     disk instead of crossing the WAN to wherever each sibling
+//     scattered.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +90,10 @@ struct BrokerConfig {
   /// baseline (disk-full discovered at stage-out time).  Only effective
   /// when a PlacementLedger is attached.
   bool placement_leases = true;
+  /// Rank boost for the site named by JobSpec::source_site (where the
+  /// job's staged input physically sits): consumers chase their data.
+  /// 1.0 disables the affinity.
+  double source_affinity = 4.0;
   std::uint64_t rng_seed = 0xb20ce5;
 };
 
@@ -90,7 +103,42 @@ namespace metric {
 inline constexpr const char* kMatches = "broker.matches";
 inline constexpr const char* kRebinds = "broker.rebinds";
 inline constexpr const char* kHolds = "broker.holds";
+inline constexpr const char* kGangMatches = "broker.gang_matches";
+inline constexpr const char* kGangSplits = "broker.gang_splits";
 }  // namespace metric
+
+/// One DAG level submitted for co-located placement: the members'
+/// specs plus the level's aggregate intermediate-product volume.
+struct GangSpec {
+  std::string gang_id;
+  /// Bytes the level parks on the execution site's disk for its
+  /// consumers (the merge's inputs) -- the gang lease is sized from it.
+  Bytes intermediates;
+  std::vector<JobSpec> members;
+};
+
+/// Where match_gang decided the gang goes.
+///
+/// Whole placement binds every member to `primary`.  When no site can
+/// host the gang whole, the documented split-fallback policy applies:
+/// admissible sites are ordered by rank score (ties broken by name),
+/// and members are assigned greedily in member order, each site taking
+/// as many members as its free capacity admits (free slots net of the
+/// broker's own in-flight bindings, the per-site throttle, and the
+/// load-ceiling headroom expressed in burst units).  `primary` is then
+/// the site hosting the most members (ties: the better-ranked site),
+/// and the gang lease shrinks to the primary's pro-rated share of the
+/// intermediates, since off-primary products must cross the WAN anyway.
+/// Members no site can take are left unassigned (empty string) and fall
+/// back to ordinary per-job late binding.
+struct GangPlacement {
+  bool placed = false;  ///< at least one member has a site
+  bool split = false;   ///< the gang did not fit whole
+  std::string primary;  ///< site hosting the largest share
+  std::vector<std::string> member_sites;  ///< per member; "" = unassigned
+  /// Members assigned to `primary` (sizes the pro-rated gang lease).
+  std::size_t primary_members = 0;
+};
 
 /// One append-only match-log entry (also mirrored into ACDC).
 struct MatchDecision {
@@ -115,6 +163,11 @@ struct BrokeredResult {
 };
 
 using BrokeredCallback = std::function<void(const BrokeredResult&)>;
+
+/// Per-member completion callback for submit_gang: fires exactly once
+/// per member with the member's index in the GangSpec.
+using GangMemberCallback =
+    std::function<void(std::size_t member, const BrokeredResult&)>;
 
 class ResourceBroker {
  public:
@@ -146,6 +199,35 @@ class ResourceBroker {
   /// Late-binding submission: match now, submit through Condor-G, re-match
   /// on transient failure.  `done` fires exactly once.
   void submit(JobSpec spec, gram::GramJob job, BrokeredCallback done);
+
+  /// Rank sites for a whole DAG level (no side effects beyond a view
+  /// refresh).  A site is admissible for the gang when every member's
+  /// eligibility requirements hold there; it fits the gang *whole* when
+  /// its free capacity covers the gang width.  Capacity counts free CPUs
+  /// net of the broker's own in-flight bindings, the per-site throttle,
+  /// and the load ceiling divided into predicted burst units (one
+  /// gatekeeper burst_weight per member submitted in the same minute --
+  /// the section 6.4 burst term the whole level triggers at once).
+  /// Whole-fit sites are scored policy * aggregate storage headroom for
+  /// stage-in + scratch + the level's intermediates, and the best one
+  /// (deterministic argmax, ties to the name-sorted first) takes every
+  /// member.  Otherwise the split fallback documented on GangPlacement
+  /// applies.
+  [[nodiscard]] GangPlacement match_gang(const GangSpec& gang, Time now);
+
+  /// Submit one DAG level as a unit: match_gang picks the placement, a
+  /// gang-scoped placement lease reserves the intermediates' bytes at
+  /// the primary site (pro-rated on split; skipped when no ledger is
+  /// attached or the site's storage is unmanaged), and every member is
+  /// late-bound with its first match pinned to its assigned site.
+  /// Members keep their individual re-match/backoff behaviour afterwards
+  /// -- a transient failure already broke the gang, so survivors are not
+  /// dragged along.  The gang lease is released exactly once, when the
+  /// last member resolves (success, failure, hold-expiry, or rescue --
+  /// every path drains through the same release).  `done` fires exactly
+  /// once per member, with the member's index.
+  void submit_gang(GangSpec gang, std::vector<gram::GramJob> jobs,
+                   GangMemberCallback done);
 
   /// Attach the VO's placement ledger: specs carrying a stage-out intent
   /// get a lease acquired before binding (full destination = match-time
@@ -181,9 +263,22 @@ class ResourceBroker {
   [[nodiscard]] std::uint64_t storage_holds() const {
     return storage_holds_;
   }
+  /// Gangs placed (whole or split) and the subset that had to split.
+  [[nodiscard]] std::uint64_t gang_matches() const { return gang_matches_; }
+  [[nodiscard]] std::uint64_t gang_splits() const { return gang_splits_; }
   [[nodiscard]] int inflight(const std::string& site) const;
 
  private:
+  /// Shared state of one submitted gang.  Members hold a reference; the
+  /// last member to resolve releases the gang lease (exactly once --
+  /// release() clears `lease`, so failure, rescue, and success paths all
+  /// drain through the same guard).
+  struct GangState {
+    std::string id;
+    placement::LeaseId lease = 0;  ///< gang-scoped intermediates lease
+    int outstanding = 0;           ///< members not yet resolved
+  };
+
   struct Pending {
     JobSpec spec;
     gram::GramJob job;
@@ -198,6 +293,11 @@ class ResourceBroker {
     /// The last defer was a full destination SE, not gatekeeper
     /// saturation: max-hold expiry then reports kDiskFull.
     bool storage_blocked = false;
+    /// Gang membership (null = ordinary per-job submission).
+    std::shared_ptr<GangState> gang;
+    /// Site the gang placement assigned: the first match is pinned here
+    /// when the site is still admissible; later re-matches rank freely.
+    std::string gang_site;
   };
 
   void refresh_view(Time now);
@@ -220,10 +320,20 @@ class ResourceBroker {
   /// destination SE is full; the caller must defer the match.
   [[nodiscard]] bool ensure_lease(Pending& p, Time now);
   void drop_lease(Pending& p, bool consumed);
+  /// Member resolved: the last one out releases the gang lease.
+  void leave_gang(Pending& p);
   void publish_counter(const char* name, std::uint64_t value);
   [[nodiscard]] double predicted_load(const SiteView& site) const;
   [[nodiscard]] bool meets_requirements(const JobSpec& spec,
                                         const SiteView& site) const;
+  /// Policy score adjusted for the broker's own in-flight bindings
+  /// (free CPUs the view has not seen consumed yet) and the
+  /// source-site data affinity.
+  [[nodiscard]] double effective_score(const JobSpec& spec,
+                                       const SiteView& site, Time now) const;
+  /// Members the site can take right now: free slots net of in-flight,
+  /// throttle headroom, and load-ceiling headroom in burst units.
+  [[nodiscard]] int gang_capacity(const SiteView& site) const;
 
   sim::Simulation& sim_;
   BrokerConfig cfg_;
@@ -253,6 +363,8 @@ class ResourceBroker {
   std::uint64_t holds_ = 0;
   std::uint64_t storage_holds_ = 0;
   std::uint64_t submissions_ = 0;
+  std::uint64_t gang_matches_ = 0;
+  std::uint64_t gang_splits_ = 0;
 };
 
 }  // namespace grid3::broker

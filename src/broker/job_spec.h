@@ -51,6 +51,26 @@ struct JobSpec {
   /// Plan-time eligible sites.  Non-empty = the broker late-binds within
   /// this set; empty = the broker computes eligibility from its own view.
   std::vector<std::string> candidates;
+  /// Where this job's staged input currently sits (the site holding the
+  /// producing sibling's output, or the replica chosen at plan time).
+  /// The broker boosts this site when ranking so consumers chase their
+  /// data instead of pricing a WAN transfer; DAGMan rewrites it to the
+  /// producer's *actual* completion site once late binding resolves --
+  /// including for gang members placed on a split site, whose real site
+  /// may differ from the gang's primary.  Empty = no affinity.
+  std::string source_site;
+  /// Gang matching (see ResourceBroker::match_gang): non-empty when this
+  /// job is one member of a DAG level that should be co-located so its
+  /// intermediate products stay on the execution site's shared disk.
+  /// All members of one level carry the same id; DAGMan submits a ready
+  /// gang as one unit instead of job-by-job.
+  std::string gang_id;
+  /// Number of sibling members in the gang (the level's width).
+  int gang_width = 1;
+  /// Aggregate intermediate-product bytes the whole level parks on the
+  /// execution site's disk for its consumers (each member carries the
+  /// level total).  Sized into the gang-scoped placement lease.
+  Bytes gang_intermediates;
 };
 
 }  // namespace grid3::broker

@@ -72,15 +72,19 @@ void Gatekeeper::record_burst() {
   recent_submissions_.push_back(sim_.now());
 }
 
-double Gatekeeper::burst_load() const {
-  // Submissions within the last minute each add burst_weight.
+std::size_t Gatekeeper::arrivals_last_minute() const {
   const Time cutoff = sim_.now() - Time::minutes(1);
-  double load = 0.0;
+  std::size_t n = 0;
   for (auto it = recent_submissions_.rbegin();
        it != recent_submissions_.rend() && *it >= cutoff; ++it) {
-    load += cfg_.burst_weight;
+    ++n;
   }
-  return load;
+  return n;
+}
+
+double Gatekeeper::burst_load() const {
+  // Submissions within the last minute each add burst_weight.
+  return cfg_.burst_weight * static_cast<double>(arrivals_last_minute());
 }
 
 double Gatekeeper::one_minute_load() const {
@@ -119,6 +123,7 @@ void Gatekeeper::submit(GramJob job, GramCallback done) {
   }
   record_burst();
   peak_load_ = std::max(peak_load_, one_minute_load());
+  peak_arrivals_ = std::max(peak_arrivals_, arrivals_last_minute());
   if (one_minute_load() > cfg_.overload_threshold) {
     ++overload_rejections_;
     reject(GramStatus::kGatekeeperOverloaded);

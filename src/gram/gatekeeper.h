@@ -138,6 +138,17 @@ class Gatekeeper {
   /// gatekeeper's lifetime (the overload-ablation headline number).
   [[nodiscard]] double peak_one_minute_load() const { return peak_load_; }
 
+  /// Burst arrival accounting: submissions that landed within the last
+  /// minute (each contributes `burst_weight` to the section 6.4 load),
+  /// and the lifetime peak of that count.  Gang matching predicts its
+  /// burst impact from exactly this term: submitting a whole DAG level
+  /// at once adds width * burst_weight in one minute, which the broker
+  /// caps against its load ceiling before binding the gang.
+  [[nodiscard]] std::size_t arrivals_last_minute() const;
+  [[nodiscard]] std::size_t peak_one_minute_arrivals() const {
+    return peak_arrivals_;
+  }
+
   [[nodiscard]] std::size_t managed_jobs() const { return managed_.size(); }
   [[nodiscard]] const std::string& site() const { return cfg_.site; }
   [[nodiscard]] const GatekeeperConfig& config() const { return cfg_; }
@@ -208,6 +219,7 @@ class Gatekeeper {
   std::uint64_t overload_rejections_ = 0;
   std::uint64_t stage_out_no_space_ = 0;
   double peak_load_ = 0.0;
+  std::size_t peak_arrivals_ = 0;  ///< max submissions in any one minute
 };
 
 }  // namespace grid3::gram

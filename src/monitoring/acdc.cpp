@@ -31,6 +31,29 @@ std::map<std::string, std::size_t> JobDatabase::lease_events(
   return out;
 }
 
+void JobDatabase::insert_gang(GangRecord gang) {
+  gangs_.push_back(std::move(gang));
+}
+
+JobDatabase::GangSummary JobDatabase::gang_events(
+    Time from, Time to, const std::string& vo) const {
+  GangSummary out;
+  for (const GangRecord& g : gangs_) {
+    if (g.at < from || g.at >= to) continue;
+    if (!vo.empty() && g.vo != vo) continue;
+    ++out.gangs;
+    out.members += g.width;
+    if (!g.placed) {
+      ++out.unplaced;
+    } else if (g.split) {
+      ++out.split;
+    } else {
+      ++out.whole;
+    }
+  }
+  return out;
+}
+
 std::map<std::string, std::size_t> JobDatabase::placements_by_site(
     Time from, Time to, const std::string& vo) const {
   std::map<std::string, std::size_t> out;

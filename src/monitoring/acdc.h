@@ -70,6 +70,22 @@ struct LeaseRecord {
   std::string completion_site;  ///< set on "consume"
 };
 
+/// One gang-matching decision, mirrored from the broker: a whole DAG
+/// level bound as a unit (or split across sites when nothing could host
+/// it whole).  Lets placement analysis separate level-co-location from
+/// per-job scatter.
+struct GangRecord {
+  std::uint64_t seq = 0;
+  Time at;
+  std::string vo;
+  std::string gang_id;
+  std::string primary;  ///< site hosting the largest member share
+  std::size_t width = 0;  ///< gang member count
+  bool placed = false;    ///< at least one member got a site
+  bool split = false;     ///< the gang did not fit whole
+  Bytes intermediates;    ///< level-aggregate intermediate bytes
+};
+
 /// Per-site transfer accounting feeding Figure 5.
 struct TransferEntry {
   std::string src_site;
@@ -103,6 +119,7 @@ class JobDatabase {
   void insert_transfer(TransferEntry entry);
   void insert_match(MatchRecord match);
   void insert_lease(LeaseRecord lease);
+  void insert_gang(GangRecord gang);
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] const std::vector<JobRecord>& records() const {
@@ -117,11 +134,26 @@ class JobDatabase {
   [[nodiscard]] const std::vector<LeaseRecord>& leases() const {
     return leases_;
   }
+  [[nodiscard]] const std::vector<GangRecord>& gangs() const {
+    return gangs_;
+  }
 
   /// Lease lifecycle counts by event over a window (empty vo = all VOs):
   /// the placement layer's acquire/consume/release/reject balance.
   [[nodiscard]] std::map<std::string, std::size_t> lease_events(
       Time from, Time to, const std::string& vo = {}) const;
+
+  /// Gang-matching balance over a window (empty vo = all VOs): how many
+  /// levels were placed whole, split, or left unplaced.
+  struct GangSummary {
+    std::size_t gangs = 0;
+    std::size_t whole = 0;
+    std::size_t split = 0;
+    std::size_t unplaced = 0;
+    std::size_t members = 0;  ///< total member jobs across gangs
+  };
+  [[nodiscard]] GangSummary gang_events(Time from, Time to,
+                                        const std::string& vo = {}) const;
 
   /// Broker placement distribution: match decisions per chosen site over
   /// a window (empty vo = all VOs).
@@ -178,6 +210,7 @@ class JobDatabase {
   std::vector<TransferEntry> transfers_;
   std::vector<MatchRecord> matches_;
   std::vector<LeaseRecord> leases_;
+  std::vector<GangRecord> gangs_;
 };
 
 }  // namespace grid3::monitoring

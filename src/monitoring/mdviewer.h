@@ -97,6 +97,12 @@ class MdViewer {
       Time from, Time to, const std::string& vo = {}) const {
     return jobs_.lease_events(from, to, vo);
   }
+  /// Gang-matching balance from the ACDC mirror: levels placed whole,
+  /// split, or left unplaced over a window.
+  [[nodiscard]] JobDatabase::GangSummary gang_events(
+      Time from, Time to, const std::string& vo = {}) const {
+    return jobs_.gang_events(from, to, vo);
+  }
 
   /// Redundant-path crosscheck (section 5.2): relative divergence between
   /// the ACDC-derived average grid-job concurrency and the MonALISA

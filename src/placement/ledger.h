@@ -66,6 +66,17 @@ enum class LeaseState { kActive, kConsumed, kReleased };
 
 /// One job's stage-out claim: destination SE + SRM reservation + RLS
 /// registration intent.
+///
+/// Two acquirers exist.  Per-job: the broker leases a spec's stage-out
+/// intent before binding, and the lease is consumed (archive succeeded)
+/// or released when that one submission resolves.  Gang-scoped: for a
+/// co-located DAG level, ResourceBroker::submit_gang acquires ONE lease
+/// covering the level's aggregate intermediate-product bytes at the
+/// gang's primary site (pro-rated to the primary's member share when
+/// the gang had to split; app label "gang:<gang_id>", no LFNs).  A gang
+/// lease is never consumed -- the members' own stage-outs account the
+/// durable bytes -- it is released exactly once, when the last member
+/// resolves, on every path: success, failure, hold-expiry, and rescue.
 struct StageOutLease {
   LeaseId id = 0;
   std::string vo;

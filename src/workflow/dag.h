@@ -68,6 +68,14 @@ struct ConcreteNode {
   /// Late binding: present when the plan was made against a resource
   /// broker.  `site` is then only the planner's provisional placement;
   /// DAGMan hands the spec to the broker at dispatch time.
+  ///
+  /// Gang matching rides on the spec: when the planner tagged this node
+  /// as part of a DAG level (spec.gang_id non-empty), DAGMan collects
+  /// the level's ready members and submits them through
+  /// ResourceBroker::submit_gang as one unit, so the whole level can be
+  /// co-located and its intermediates stay on one site's shared disk.
+  /// A member completing on a split placement feeds its *own* site back
+  /// through `source_parent`, never the gang's primary.
   std::optional<broker::JobSpec> broker_spec;
 };
 

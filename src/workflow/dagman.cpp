@@ -1,6 +1,7 @@
 #include "workflow/dagman.h"
 
 #include <cassert>
+#include <map>
 
 #include "broker/broker.h"
 
@@ -77,17 +78,172 @@ ConcreteDag DagMan::rescue_dag_refreshed(const ConcreteDag& dag,
 }
 
 void DagMan::launch_ready(const std::shared_ptr<Run>& run) {
+  std::vector<std::size_t> ready;
   for (std::size_t i = 0; i < run->dag.nodes.size(); ++i) {
     if (run->states[i] != NodeState::kPending) continue;
-    bool ready = true;
+    bool ok = true;
     for (std::size_t p : run->parents[i]) {
       if (run->states[p] != NodeState::kDone) {
-        ready = false;
+        ok = false;
         break;
       }
     }
-    if (ready) start_node(run, i);
+    if (ok) ready.push_back(i);
   }
+
+  // Gang grouping: ready brokered compute nodes sharing a gang_id go to
+  // the broker as one unit so the whole level can be co-located.  A
+  // gang with a single ready member (staggered readiness, rescue of a
+  // partly finished level) takes the ordinary per-job path.
+  if (broker_ != nullptr) {
+    std::map<std::string, std::vector<std::size_t>> gangs;
+    for (std::size_t i : ready) {
+      const ConcreteNode& n = run->dag.nodes[i];
+      if (n.type == NodeType::kCompute && n.broker_spec.has_value() &&
+          !n.broker_spec->gang_id.empty()) {
+        gangs[n.broker_spec->gang_id].push_back(i);
+      }
+    }
+    for (auto& [id, members] : gangs) {
+      if (members.size() < 2) continue;
+      // start_gang marks members running; the loop below skips them.
+      start_gang(run, members);
+    }
+  }
+
+  for (std::size_t i : ready) {
+    // Re-check: a gang launch (or a synchronous completion re-entering
+    // launch_ready) may have started this node already.
+    if (run->states[i] == NodeState::kPending) start_node(run, i);
+  }
+}
+
+gram::GramJob DagMan::build_brokered_job(const Run& run,
+                                         const ConcreteNode& node) {
+  gram::GramJob job;
+  job.proxy = run.proxy;
+  job.request.vo = run.proxy.vo;
+  job.request.user_dn = run.proxy.identity.subject_dn;
+  job.request.requested_walltime = node.requested_walltime;
+  job.request.actual_runtime = node.runtime;
+  job.request.priority = node.priority;
+  job.scratch = node.scratch;
+  if (node.bytes > Bytes::zero() && !node.source_site.empty()) {
+    job.stage_in = node.bytes;
+    job.stage_in_source = services_.ftp(node.source_site);
+  }
+  // Placement intent: the gatekeeper archives the output itself (no
+  // planned stage-out node), accounted against the archive SE's volume
+  // -- or inside the lease's SRM reservation once the broker acquires
+  // one and threads it into this job.
+  const broker::JobSpec& spec = *node.broker_spec;
+  if (spec.stage_out > Bytes::zero() && !spec.stage_out_site.empty()) {
+    job.stage_out = spec.stage_out;
+    job.stage_out_dest = services_.ftp(spec.stage_out_site);
+    job.stage_out_volume = services_.volume(spec.stage_out_site);
+  }
+  return job;
+}
+
+void DagMan::start_gang(const std::shared_ptr<Run>& run,
+                        std::vector<std::size_t> members) {
+  broker::GangSpec gang;
+  const broker::JobSpec& first = *run->dag.nodes[members.front()].broker_spec;
+  gang.gang_id = first.gang_id;
+  gang.intermediates = first.gang_intermediates;
+  std::vector<gram::GramJob> jobs;
+  gang.members.reserve(members.size());
+  jobs.reserve(members.size());
+  for (std::size_t idx : members) {
+    run->states[idx] = NodeState::kRunning;
+    ++run->outstanding;
+    ++run->attempts[idx];
+    const ConcreteNode& node = run->dag.nodes[idx];
+    gang.members.push_back(*node.broker_spec);
+    jobs.push_back(build_brokered_job(*run, node));
+  }
+  broker_->submit_gang(
+      std::move(gang), std::move(jobs),
+      [this, run, indices = std::move(members)](
+          std::size_t m, const broker::BrokeredResult& br) {
+        brokered_done(run, indices[m], br);
+      });
+}
+
+void DagMan::brokered_done(const std::shared_ptr<Run>& run, std::size_t idx,
+                           const broker::BrokeredResult& br) {
+  const ConcreteNode& n = run->dag.nodes[idx];
+  NodeResult r;
+  r.index = idx;
+  r.type = n.type;
+  r.site = br.site.empty() ? n.site : br.site;
+  r.source_site = n.source_site;
+  r.bytes = n.bytes;
+  r.ok = br.ok();
+  r.attempts = run->attempts[idx];
+  r.submitted = br.gram.submitted;
+  r.started = br.gram.ok() ? br.gram.outcome.started : br.gram.submitted;
+  r.finished = br.gram.finished;
+  r.gram_status = br.gram.status;
+  r.gram_contact = br.gram.gram_contact;
+  if (!br.ok()) {
+    if (!br.matched) {
+      // Never bound: the broker's kNoEligibleSite analogue.
+      r.site_problem = false;
+      r.failure_class = "no-eligible-site";
+    } else {
+      r.site_problem = gram::is_site_problem(br.gram.status);
+      r.failure_class = gram::to_string(br.gram.status);
+    }
+  }
+  if (br.ok()) {
+    // Completion-site feedback: late binding may have moved the job off
+    // its provisional site.  Record where it *really* ran -- for a gang
+    // member on a split placement that is the member's own site, which
+    // can differ from the gang's primary -- and repoint children that
+    // stage this node's output, so their stage-in source, transfer
+    // pricing, and broker data affinity all follow the data.
+    ConcreteNode& executed = run->dag.nodes[idx];
+    if (!br.site.empty()) {
+      executed.site = br.site;
+      for (std::size_t c : run->children[idx]) {
+        ConcreteNode& child = run->dag.nodes[c];
+        if (child.source_parent == idx) {
+          child.source_site = br.site;
+          if (child.broker_spec.has_value()) {
+            child.broker_spec->source_site = br.site;
+          }
+        } else if (child.type == NodeType::kCompute &&
+                   child.broker_spec.has_value()) {
+          // Provisionally co-located edge: no staging was folded, but
+          // late binding decides the child's site anyway.  Hand the
+          // broker a pure affinity hint (no stage-in bytes) so the
+          // consumer of a gang's intermediates chases the site they
+          // actually landed on instead of rediscovering it as a WAN
+          // pull.
+          child.broker_spec->source_site = br.site;
+        }
+      }
+    }
+    // Execute the registration intent: the gatekeeper just archived the
+    // outputs at the intent SE (inside the lease when one was held).
+    const broker::JobSpec& spec = *executed.broker_spec;
+    if (rls_ != nullptr && !spec.stage_out_site.empty() &&
+        spec.stage_out > Bytes::zero() && !spec.output_lfns.empty() &&
+        services_.ftp(spec.stage_out_site) != nullptr) {
+      const Bytes per_file =
+          Bytes::of(spec.stage_out.count() /
+                    static_cast<std::int64_t>(spec.output_lfns.size()));
+      for (const std::string& lfn : spec.output_lfns) {
+        rls_->register_replica(
+            spec.stage_out_site, lfn,
+            {"gsiftp://" + spec.stage_out_site + "/" + lfn, per_file,
+             sim_.now()},
+            sim_.now());
+      }
+    }
+  }
+  node_done(run, idx, std::move(r));
 }
 
 void DagMan::start_node(const std::shared_ptr<Run>& run, std::size_t idx) {
@@ -100,94 +256,10 @@ void DagMan::start_node(const std::shared_ptr<Run>& run, std::size_t idx) {
   switch (node.type) {
     case NodeType::kCompute: {
       if (broker_ != nullptr && node.broker_spec.has_value()) {
-        gram::GramJob job;
-        job.proxy = run->proxy;
-        job.request.vo = run->proxy.vo;
-        job.request.user_dn = run->proxy.identity.subject_dn;
-        job.request.requested_walltime = node.requested_walltime;
-        job.request.actual_runtime = node.runtime;
-        job.request.priority = node.priority;
-        job.scratch = node.scratch;
-        if (node.bytes > Bytes::zero() && !node.source_site.empty()) {
-          job.stage_in = node.bytes;
-          job.stage_in_source = services_.ftp(node.source_site);
-        }
-        // Placement intent: the gatekeeper archives the output itself
-        // (no planned stage-out node), accounted against the archive
-        // SE's volume -- or inside the lease's SRM reservation once the
-        // broker acquires one and threads it into this job.
-        const broker::JobSpec& spec = *node.broker_spec;
-        if (spec.stage_out > Bytes::zero() && !spec.stage_out_site.empty()) {
-          job.stage_out = spec.stage_out;
-          job.stage_out_dest = services_.ftp(spec.stage_out_site);
-          job.stage_out_volume = services_.volume(spec.stage_out_site);
-        }
-        broker_->submit(
-            *node.broker_spec, std::move(job),
-            [this, run, idx](const broker::BrokeredResult& br) {
-              const ConcreteNode& n = run->dag.nodes[idx];
-              NodeResult r;
-              r.index = idx;
-              r.type = n.type;
-              r.site = br.site.empty() ? n.site : br.site;
-              r.source_site = n.source_site;
-              r.bytes = n.bytes;
-              r.ok = br.ok();
-              r.attempts = run->attempts[idx];
-              r.submitted = br.gram.submitted;
-              r.started = br.gram.ok() ? br.gram.outcome.started
-                                       : br.gram.submitted;
-              r.finished = br.gram.finished;
-              r.gram_status = br.gram.status;
-              r.gram_contact = br.gram.gram_contact;
-              if (!br.ok()) {
-                if (!br.matched) {
-                  // Never bound: the broker's kNoEligibleSite analogue.
-                  r.site_problem = false;
-                  r.failure_class = "no-eligible-site";
-                } else {
-                  r.site_problem = gram::is_site_problem(br.gram.status);
-                  r.failure_class = gram::to_string(br.gram.status);
-                }
-              }
-              if (br.ok()) {
-                // Completion-site feedback: late binding may have moved
-                // the job off its provisional site.  Record where it
-                // really ran and repoint children that stage this node's
-                // output, so their stage-in source (and transfer
-                // pricing) follows the data.
-                ConcreteNode& executed = run->dag.nodes[idx];
-                if (!br.site.empty() && executed.site != br.site) {
-                  executed.site = br.site;
-                  for (std::size_t c : run->children[idx]) {
-                    ConcreteNode& child = run->dag.nodes[c];
-                    if (child.source_parent == idx) {
-                      child.source_site = br.site;
-                    }
-                  }
-                }
-                // Execute the registration intent: the gatekeeper just
-                // archived the outputs at the intent SE (inside the
-                // lease when one was held).
-                const broker::JobSpec& spec = *executed.broker_spec;
-                if (rls_ != nullptr && !spec.stage_out_site.empty() &&
-                    spec.stage_out > Bytes::zero() &&
-                    !spec.output_lfns.empty() &&
-                    services_.ftp(spec.stage_out_site) != nullptr) {
-                  const Bytes per_file = Bytes::of(
-                      spec.stage_out.count() /
-                      static_cast<std::int64_t>(spec.output_lfns.size()));
-                  for (const std::string& lfn : spec.output_lfns) {
-                    rls_->register_replica(
-                        spec.stage_out_site, lfn,
-                        {"gsiftp://" + spec.stage_out_site + "/" + lfn,
-                         per_file, sim_.now()},
-                        sim_.now());
-                  }
-                }
-              }
-              node_done(run, idx, std::move(r));
-            });
+        broker_->submit(*node.broker_spec, build_brokered_job(*run, node),
+                        [this, run, idx](const broker::BrokeredResult& br) {
+                          brokered_done(run, idx, br);
+                        });
         return;
       }
       gram::Gatekeeper* gk = services_.gatekeeper(node.site);

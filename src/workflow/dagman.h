@@ -24,6 +24,7 @@
 
 namespace grid3::broker {
 class ResourceBroker;
+struct BrokeredResult;
 }  // namespace grid3::broker
 
 namespace grid3::workflow {
@@ -134,6 +135,24 @@ class DagMan {
 
   void launch_ready(const std::shared_ptr<Run>& run);
   void start_node(const std::shared_ptr<Run>& run, std::size_t idx);
+  /// Submit the ready members of one gang as a unit through
+  /// ResourceBroker::submit_gang (a partially ready gang -- e.g. a
+  /// rescue of a half-finished level -- submits whatever is ready; the
+  /// broker sizes the placement from the members actually given).
+  void start_gang(const std::shared_ptr<Run>& run,
+                  std::vector<std::size_t> members);
+  /// GRAM job for a brokered compute node (stage-in from the node's
+  /// source, stage-out per the spec's placement intent).
+  [[nodiscard]] gram::GramJob build_brokered_job(const Run& run,
+                                                 const ConcreteNode& node);
+  /// Shared terminal handler for brokered compute nodes (per-job and
+  /// gang paths): records the result, feeds the *actual* completion
+  /// site back into children whose staging follows this node's output
+  /// -- for gang members placed on a split site this is the member's
+  /// own site, never the gang's primary -- and executes the
+  /// registration intent.
+  void brokered_done(const std::shared_ptr<Run>& run, std::size_t idx,
+                     const broker::BrokeredResult& br);
   void node_done(const std::shared_ptr<Run>& run, std::size_t idx,
                  NodeResult result);
   void skip_descendants(const std::shared_ptr<Run>& run, std::size_t idx);

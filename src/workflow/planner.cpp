@@ -234,6 +234,7 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
     node.bytes = external_in;
     if (spec.has_value()) {
       spec->stage_in = external_in;
+      spec->source_site = node.source_site;  // replica chosen above
       node.broker_spec = std::move(spec);
     }
 
@@ -267,6 +268,9 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       }
       if (out.nodes[cc].broker_spec.has_value()) {
         out.nodes[cc].broker_spec->stage_in += dag.jobs[p].output_size;
+        // Data-affinity hint for the broker's ranking; DAGMan rewrites
+        // it alongside node.source_site when the parent completes.
+        out.nodes[cc].broker_spec->source_site = out.nodes[cc].source_site;
       }
       out.edges.emplace_back(cp, cc);
     } else {
@@ -332,6 +336,80 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
     const std::size_t ri = out.nodes.size();
     out.nodes.push_back(std::move(reg));
     out.edges.emplace_back(si, ri);
+  }
+
+  // Gang tagging (brokered plans): the sibling jobs of one abstract-DAG
+  // level -- equal depth, feeding a common child (the N-simulations ->
+  // merge shape of CMS/ATLAS production) -- share a gang_id, so DAGMan
+  // submits the level as a unit and the broker can co-locate it.  The
+  // union-find joins same-depth surviving parents of each child; gang
+  // ids are assigned in first-member index order, keeping plans
+  // deterministic.
+  if (broker_ != nullptr && cfg.gang_matching && !dag.jobs.empty()) {
+    std::vector<int> depth(dag.jobs.size(), 0);
+    std::vector<std::vector<std::size_t>> children(dag.jobs.size());
+    for (const auto& [p, c] : dag.edges) children[p].push_back(c);
+    for (std::size_t j : topo_order(dag)) {
+      for (std::size_t c : children[j]) {
+        depth[c] = std::max(depth[c], depth[j] + 1);
+      }
+    }
+    std::vector<std::size_t> uf(dag.jobs.size());
+    for (std::size_t i = 0; i < uf.size(); ++i) uf[i] = i;
+    auto find = [&uf](std::size_t x) {
+      while (uf[x] != x) {
+        uf[x] = uf[uf[x]];
+        x = uf[x];
+      }
+      return x;
+    };
+    for (std::size_t c = 0; c < dag.jobs.size(); ++c) {
+      // Union the surviving same-depth parents of c, smallest index as
+      // the anchor per depth.
+      std::map<int, std::size_t> anchor;
+      for (std::size_t p : dag.parents(c)) {
+        if (compute_index[p] == kPruned) continue;
+        auto [it, fresh] = anchor.try_emplace(depth[p], p);
+        if (!fresh) uf[find(p)] = find(it->second);
+      }
+    }
+    std::map<std::size_t, std::vector<std::size_t>> gangs;  // root -> members
+    for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
+      if (compute_index[i] == kPruned) continue;
+      gangs[find(i)].push_back(i);  // ascending i: members in index order
+    }
+    std::size_t gang_seq = 0;
+    std::vector<std::size_t> roots;  // first-member order == root order here
+    for (const auto& [root, members] : gangs) roots.push_back(root);
+    std::sort(roots.begin(), roots.end(),
+              [&gangs](std::size_t a, std::size_t b) {
+                return gangs.at(a).front() < gangs.at(b).front();
+              });
+    for (std::size_t root : roots) {
+      const auto& members = gangs[root];
+      if (members.size() < 2) continue;
+      const std::string gang_id =
+          cfg.vo + ":gang" + std::to_string(++gang_seq);
+      // Level-aggregate intermediates: member outputs consumed inside
+      // the DAG (the merge's inputs), which the gang lease reserves.
+      Bytes intermediates;
+      for (std::size_t m : members) {
+        const AbstractJob& mj = dag.jobs[m];
+        const bool feeds_dag =
+            std::any_of(mj.outputs.begin(), mj.outputs.end(),
+                        [&](const std::string& o) {
+                          auto it = consumed.find(o);
+                          return it != consumed.end() && it->second;
+                        });
+        if (feeds_dag) intermediates += mj.output_size;
+      }
+      for (std::size_t m : members) {
+        broker::JobSpec& bs = *out.nodes[compute_index[m]].broker_spec;
+        bs.gang_id = gang_id;
+        bs.gang_width = static_cast<int>(members.size());
+        bs.gang_intermediates = intermediates;
+      }
+    }
   }
   return out;
 }

@@ -46,6 +46,12 @@ struct PlannerConfig {
   bool reuse_existing = true;
   /// Archive every output, or only DAG-final ones.
   bool archive_all = false;
+  /// Gang matching (brokered plans only): tag sibling compute nodes of
+  /// one abstract-DAG level -- same depth, feeding a common child -- with
+  /// a shared gang_id so DAGMan submits the level as one unit and the
+  /// broker co-locates it (ResourceBroker::match_gang).  Off = every
+  /// node late-binds individually, scattering levels across sites.
+  bool gang_matching = true;
 };
 
 /// Why a plan failed.
