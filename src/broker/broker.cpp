@@ -57,6 +57,12 @@ void ResourceBroker::refresh_view(Time now) {
     if (auto se = snap.get(mds::glue::kSeAvailableGb); se.has_value()) {
       if (const double* gb = std::get_if<double>(&*se)) v.se_free_gb = *gb;
     }
+    if (auto drain = snap.get(mds::grid3ext::kSeDrainGbPerHour);
+        drain.has_value()) {
+      if (const double* gbh = std::get_if<double>(&*drain)) {
+        v.se_drain_gb_per_hour = *gbh;
+      }
+    }
     if (monitor_ != nullptr) {
       v.gatekeeper_load =
           monitor_->read(v.site, monitoring::mlmetric::kGatekeeperLoad, now)
@@ -98,13 +104,42 @@ std::vector<std::string> ResourceBroker::eligible(const JobSpec& spec,
 
 namespace {
 
+/// How far ahead the broker credits a draining SE's tape-migration
+/// throughput when the SE is full right now (matches the archive
+/// drain cycles the placement ablation models).
+constexpr double kDrainLookaheadHours = 4.0;
+
+/// Deterministic [0, 1) hash of a counter (splitmix64 finalizer).  Used
+/// for hold-retry jitter instead of an rng_ draw: drawing would shift
+/// the stochastic policies' weighted-pick stream and perturb match logs
+/// that never held.
+double jitter01(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
 /// Storage-headroom rank factor for `need_gb` of local footprint: sites
 /// whose disks barely cover it are downweighted, and sites that would
 /// fail the allocation outright become a last resort.  Disk-full
 /// thereby shifts from a submit-time failure to a rank penalty.
 double storage_headroom_for(double need_gb, const SiteView& site) {
   if (need_gb <= 0.0 || site.se_free_gb <= 0.0) return 1.0;
-  if (site.se_free_gb <= need_gb) return 0.01;
+  if (site.se_free_gb <= need_gb) {
+    // Full right now.  A draining archive (tape migration emptying the
+    // SE at a published GB/h) is a temporary wait, not a structural
+    // dead end: credit the space the drain frees within the lookahead
+    // window so such sites outrank the truly full ones instead of
+    // tying with them at the floor.
+    const double effective =
+        site.se_free_gb + site.se_drain_gb_per_hour * kDrainLookaheadHours;
+    if (effective > need_gb) {
+      return std::min(0.25, 0.05 * effective / need_gb);
+    }
+    return 0.01;
+  }
   return std::min(1.0, site.se_free_gb / (8.0 * need_gb));
 }
 
@@ -168,15 +203,19 @@ const SiteView* ResourceBroker::rank_and_pick(
 std::optional<std::string> ResourceBroker::choose(const JobSpec& spec,
                                                   Time now) {
   view(now);
+  const auto healthy = [this](const SiteView& v) {
+    return health_ == nullptr || !health_->quarantined(v.site);
+  };
   std::vector<const SiteView*> pool;
   if (spec.candidates.empty()) {
     for (const SiteView& v : view_) {
-      if (meets_requirements(spec, v)) pool.push_back(&v);
+      if (meets_requirements(spec, v) && healthy(v)) pool.push_back(&v);
     }
   } else {
     for (const SiteView& v : view_) {
       if (std::find(spec.candidates.begin(), spec.candidates.end(), v.site) !=
-          spec.candidates.end()) {
+              spec.candidates.end() &&
+          healthy(v)) {
         pool.push_back(&v);
       }
     }
@@ -240,6 +279,9 @@ GangPlacement ResourceBroker::match_gang(const GangSpec& gang, Time now) {
   const JobSpec& representative = gang.members.front();
   for (const SiteView& v : view_) {
     if (gatekeepers_.gatekeeper(v.site) == nullptr) continue;
+    // Quarantine beats any rank score: a black hole's deceptively empty
+    // queue must not win the whole level.
+    if (health_ != nullptr && health_->quarantined(v.site)) continue;
     bool all_eligible = true;
     for (const JobSpec& m : gang.members) {
       if (!meets_requirements(m, v)) {
@@ -350,7 +392,12 @@ void ResourceBroker::submit_gang(GangSpec gang,
     if (share > Bytes::zero()) {
       const auto res = ledger_->acquire(placement.primary, share,
                                         "gang:" + gang.gang_id, {}, now);
-      if (res.leased()) state->lease = res.lease;
+      if (res.leased()) {
+        state->lease = res.lease;
+        // Track the gang so a breaker trip at the primary can return the
+        // reservation mid-flight.
+        live_gangs_.emplace_back(placement.primary, state);
+      }
     }
   }
 
@@ -393,6 +440,13 @@ std::vector<const SiteView*> ResourceBroker::admissible(const Pending& p,
   auto consider = [&](const SiteView& v) {
     if (auto it = p.excluded_until.find(v.site);
         it != p.excluded_until.end() && now < it->second) {
+      *any_deferred = true;
+      return;
+    }
+    // Quarantined sites defer rather than disqualify: the breaker
+    // re-admits them after probation, so the job waits for the grid to
+    // heal instead of failing with "no eligible site".
+    if (health_ != nullptr && health_->quarantined(v.site)) {
       *any_deferred = true;
       return;
     }
@@ -563,7 +617,20 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
   // across rebinds.
   drop_lease(*p, r.ok());
 
-  if (r.ok() || !gram::is_transient(r.status)) {
+  report_health(*p, r);
+
+  // Once the breaker has condemned the site, an environment kill or a
+  // stage-out failure there is the site's fault, not the job's: treat it
+  // as retryable even though the status is normally terminal.  Note the
+  // ordering above -- report_health runs first, so the very failure that
+  // trips the breaker already re-matches instead of dying.
+  const bool site_fault_at_quarantined =
+      health_ != nullptr && health_->quarantined(p->bound_site) &&
+      (r.status == gram::GramStatus::kEnvironmentError ||
+       r.status == gram::GramStatus::kStageOutFailed ||
+       r.status == gram::GramStatus::kJobKilled);
+  if (r.ok() ||
+      (!gram::is_transient(r.status) && !site_fault_at_quarantined)) {
     BrokeredResult out;
     out.gram = r;
     out.site = p->bound_site;
@@ -575,9 +642,14 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
   }
 
   // Transient: cool the site off for this job and re-match elsewhere.
+  // Failing at a site the breaker has since quarantined is the grid's
+  // fault, not the job's: the re-match is free, so a black hole cannot
+  // drain a job's whole rebind budget before the breaker trips.
+  const bool free_rebind =
+      health_ != nullptr && health_->quarantined(p->bound_site);
   p->last = r;
   p->excluded_until[p->bound_site] = sim_.now() + cfg_.failed_site_cooloff;
-  if (p->rebinds >= cfg_.max_rebinds) {
+  if (!free_rebind && p->rebinds >= cfg_.max_rebinds) {
     BrokeredResult out;
     out.gram = r;
     out.site = p->bound_site;
@@ -587,7 +659,7 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
     finish(p, std::move(out));
     return;
   }
-  ++p->rebinds;
+  if (!free_rebind) ++p->rebinds;
   ++rebinds_;
   publish_counter(metric::kRebinds, rebinds_);
   double backoff = cfg_.rebind_backoff.to_seconds();
@@ -596,14 +668,96 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
   sim_.schedule_in(Time::seconds(backoff), [this, self] { try_match(self); });
 }
 
+void ResourceBroker::report_health(const Pending& p,
+                                   const gram::GramResult& r) {
+  if (health_ == nullptr) return;
+  const Time now = sim_.now();
+  const std::string& site = p.bound_site;
+  const Time requested = p.job.request.requested_walltime;
+  switch (r.status) {
+    case gram::GramStatus::kCompleted:
+      health_->report(site, health::Service::kSubmit, true, now);
+      health_->report_batch(site, true, r.submitted, r.finished, requested,
+                            now);
+      break;
+    case gram::GramStatus::kGatekeeperDown:
+    case gram::GramStatus::kGatekeeperOverloaded:
+      health_->report(site, health::Service::kSubmit, false, now);
+      break;
+    case gram::GramStatus::kStageInFailed:
+    case gram::GramStatus::kStageOutFailed:
+      health_->report(site, health::Service::kTransfer, false, now);
+      break;
+    case gram::GramStatus::kDiskFull:
+      health_->report(site, health::Service::kStorage, false, now);
+      break;
+    case gram::GramStatus::kEnvironmentError:
+      // The black-hole signature: the site accepts the job, then the
+      // environment kills it.  Unconditionally a batch-service failure
+      // (the job may run its full slot before dying, so the fast-fail
+      // test would miss it).
+      health_->report(site, health::Service::kBatch, false, now);
+      break;
+    case gram::GramStatus::kJobKilled:
+      health_->report_batch(site, false, r.submitted, r.finished, requested,
+                            now);
+      break;
+    default:
+      // Application bugs, auth/proxy problems, and submit-side rejections
+      // say nothing about the site's health.
+      break;
+  }
+}
+
 void ResourceBroker::hold(const std::shared_ptr<Pending>& p) {
   ++p->holds;
   ++holds_;
   publish_counter(metric::kHolds, holds_);
   waiting_.push_back(p);
-  if (!kick_scheduled_) {
+  // Per-job retry with deterministic jitter: a saturated grid holds many
+  // jobs in the same tick, and a shared timer would re-release them as
+  // one thundering herd against the first site to free a slot.
+  double delay = cfg_.hold_retry.to_seconds();
+  if (cfg_.hold_retry_jitter > 0.0) {
+    delay *= 1.0 + cfg_.hold_retry_jitter * jitter01(++hold_seq_ ^ cfg_.rng_seed);
+  }
+  auto self = p;
+  sim_.schedule_in(Time::seconds(delay), [this, self] { retry_held(self); });
+}
+
+void ResourceBroker::retry_held(const std::shared_ptr<Pending>& p) {
+  // A completion kick may have drained it already.
+  auto it = std::find(waiting_.begin(), waiting_.end(), p);
+  if (it == waiting_.end()) return;
+  waiting_.erase(it);
+  try_match(p);
+}
+
+void ResourceBroker::on_site_quarantined(const std::string& site) {
+  // Held jobs were mostly deferred by saturation elsewhere; with a site
+  // freshly removed the distribution changed, so re-match them promptly
+  // (and jobs bound for the quarantined site re-rank elsewhere).
+  if (!waiting_.empty() && !kick_scheduled_) {
     kick_scheduled_ = true;
-    sim_.schedule_in(cfg_.hold_retry, [this] { kick_waiting(); });
+    sim_.schedule_in(Time::seconds(1), [this] { kick_waiting(); });
+  }
+  // Return gang-scoped intermediate reservations parked at the site: the
+  // level's co-location is broken anyway, and holding quarantined disk
+  // would starve the placement ledger for the whole outage.
+  for (auto it = live_gangs_.begin(); it != live_gangs_.end();) {
+    auto gang = it->second.lock();
+    if (gang == nullptr) {
+      it = live_gangs_.erase(it);
+      continue;
+    }
+    if (it->first == site && gang->lease != 0) {
+      const placement::LeaseId lease = gang->lease;
+      gang->lease = 0;
+      if (ledger_ != nullptr) ledger_->release(lease, sim_.now());
+      it = live_gangs_.erase(it);
+      continue;
+    }
+    ++it;
   }
 }
 
@@ -653,8 +807,17 @@ bool ResourceBroker::ensure_lease(Pending& p, Time now) {
     case placement::AcquireStatus::kNoStorage:
       return true;  // unmanaged archive: proceed unleased (status quo)
     case placement::AcquireStatus::kDiskFull:
+      // SRM refusals are the storage-service health signal.
+      if (health_ != nullptr) {
+        health_->report(p.spec.stage_out_site, health::Service::kStorage,
+                        false, now);
+      }
       return false;
     case placement::AcquireStatus::kLeased:
+      if (health_ != nullptr) {
+        health_->report(p.spec.stage_out_site, health::Service::kStorage,
+                        true, now);
+      }
       break;
   }
   p.lease = res.lease;

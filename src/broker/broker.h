@@ -41,6 +41,7 @@
 
 #include "broker/rank_policy.h"
 #include "gram/condor_g.h"
+#include "health/health.h"
 #include "mds/giis.h"
 #include "monitoring/acdc.h"
 #include "monitoring/bus.h"
@@ -83,6 +84,13 @@ struct BrokerConfig {
   /// Held jobs re-attempt matching on this period (also kicked whenever
   /// an in-flight submission completes).
   Time hold_retry = Time::minutes(5);
+  /// Deterministic per-hold jitter fraction on hold_retry: each held job
+  /// re-checks at hold_retry * (1 + jitter * u) with u in [0, 1) hashed
+  /// from a monotone hold counter (no RNG draw, so stochastic-policy
+  /// match logs are unperturbed).  Simultaneous holds across a gang
+  /// therefore re-probe a freed SE staggered instead of in lockstep.
+  /// 0 disables the jitter.
+  double hold_retry_jitter = 0.25;
   /// A job held longer than this fails back to the submitter.
   Time max_hold = Time::hours(12);
   /// Acquire a stage-out lease (SRM space at the destination SE) before
@@ -240,6 +248,22 @@ class ResourceBroker {
     return ledger_;
   }
 
+  /// Attach the grid's site-health monitor: quarantined sites drop out
+  /// of match and gang candidate sets (quarantine beats any rank score),
+  /// completion outcomes feed the per-site failure scores, and transient
+  /// failures at a quarantined site do not consume the job's rebind
+  /// budget (the trip is the grid's fault, not the job's).
+  void set_health(health::SiteHealthMonitor* monitor) { health_ = monitor; }
+  [[nodiscard]] health::SiteHealthMonitor* health() const { return health_; }
+
+  /// A site just tripped into quarantine: held jobs get a prompt
+  /// re-match away from it, and gang leases whose primary is the
+  /// quarantined site are returned (their members re-match individually,
+  /// so holding the level's disk reservation there would only starve
+  /// healthy gangs).  Wired to the monitor's trip observer by
+  /// core::Grid3::attach_health.
+  void on_site_quarantined(const std::string& site);
+
   /// Publish match/hold/rebind counters on the bus under `label` (the VO
   /// name) so MDViewer can plot broker activity next to gatekeeper load.
   void set_metric_bus(monitoring::MetricBus* bus, std::string label) {
@@ -310,7 +334,12 @@ class ResourceBroker {
   void try_match(const std::shared_ptr<Pending>& p);
   void on_result(const std::shared_ptr<Pending>& p,
                  const gram::GramResult& r);
+  /// Classify a submission outcome into per-service health feedback.
+  void report_health(const Pending& p, const gram::GramResult& r);
   void hold(const std::shared_ptr<Pending>& p);
+  /// Per-hold jittered re-check: no-op when a kick already drained the
+  /// job from the waiting queue.
+  void retry_held(const std::shared_ptr<Pending>& p);
   void kick_waiting();
   void record_match(const Pending& p, const SiteView& site, double score,
                     std::size_t pool_size);
@@ -343,6 +372,7 @@ class ResourceBroker {
   GatekeeperDirectory& gatekeepers_;
   gram::CondorG& condor_g_;
   monitoring::JobDatabase* accounting_;
+  health::SiteHealthMonitor* health_ = nullptr;
   placement::PlacementLedger* ledger_ = nullptr;
   monitoring::MetricBus* bus_ = nullptr;
   std::string bus_label_;
@@ -357,6 +387,11 @@ class ResourceBroker {
   std::map<std::string, double> inflight_staging_;
   std::deque<std::shared_ptr<Pending>> waiting_;
   bool kick_scheduled_ = false;
+  /// Monotone hold counter feeding the deterministic retry jitter.
+  std::uint64_t hold_seq_ = 0;
+  /// Live leased gangs by primary site, so a quarantine trip can return
+  /// their leases (weak: resolved gangs just drop out).
+  std::vector<std::pair<std::string, std::weak_ptr<GangState>>> live_gangs_;
 
   std::vector<MatchDecision> log_;
   std::uint64_t rebinds_ = 0;

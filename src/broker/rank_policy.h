@@ -34,6 +34,10 @@ struct SiteView {
   Time max_walltime = Time::max();
   bool outbound = false;
   double se_free_gb = 0.0;   ///< storage-element headroom
+  /// SE drain rate (GB freed per hour, e.g. tape migration emptying the
+  /// archive) published by the site between monitor samples: lets the
+  /// broker tell a temporarily-full archive from a structurally-full one.
+  double se_drain_gb_per_hour = 0.0;
   double gatekeeper_load = 0.0;  ///< MonALISA 1-min gauge (0 = unknown)
   mds::SiteSnapshot snapshot;    ///< full GLUE attributes
 

@@ -43,6 +43,7 @@ vo::VomsServer& Grid3::add_vo(const std::string& name) {
   svc.rls = std::make_unique<rls::ReplicaLocationService>(name);
   svc.dagman = std::make_unique<workflow::DagMan>(
       sim_, condor_g_, ftp_client_, svc.rls.get(), *this);
+  if (health_) svc.dagman->set_health(health_.get());
   igoc_.top_giis().register_child(svc.giis.get());
   return *vos_.emplace(name, std::move(svc)).first->second.voms;
 }
@@ -111,7 +112,67 @@ broker::ResourceBroker& Grid3::attach_broker(const std::string& vo_name,
     svc.placement.reset();
   }
   svc.dagman->set_broker(svc.broker.get());
+  if (health_) svc.broker->set_health(health_.get());
   return *svc.broker;
+}
+
+health::SiteHealthMonitor& Grid3::attach_health(health::HealthConfig cfg) {
+  if (health_) return *health_;
+  health_ = std::make_unique<health::SiteHealthMonitor>(sim_, cfg);
+  health_->set_metric_bus(&igoc_.bus());
+  health_->set_accounting(&igoc_.job_db());
+  health_->set_tickets(
+      [this](const std::string& site, const std::string& issue, Time now) {
+        return igoc_.tickets().open(site, issue, now);
+      },
+      [this](std::uint64_t id, Time now) { igoc_.tickets().close(id, now); });
+
+  // Probation probes run as site-verify jobs under the iGOC's operations
+  // identity (ivdgl VO), submitted straight to the gatekeeper so they
+  // bypass the very quarantine they are re-certifying.  Backfill
+  // priority: probes never displace production work.
+  probe_cert_ = add_user("ivdgl", "igoc-site-verify");
+  std::vector<const vo::VomsServer*> servers;
+  for (const auto& [name, svc] : vos_) servers.push_back(svc.voms.get());
+  for (auto& s : sites_) {
+    s->support_vo("ivdgl");
+    s->refresh_gridmap(servers);
+  }
+  health_->set_probe_submitter(
+      [this](const std::string& site, std::function<void(bool)> done) {
+        gram::Gatekeeper* gk = gatekeeper(site);
+        auto proxy = make_proxy(*probe_cert_, "ivdgl", Time::hours(2));
+        if (gk == nullptr || !proxy.has_value()) {
+          done(false);
+          return;
+        }
+        gram::GramJob job;
+        job.proxy = *proxy;
+        job.request.vo = "ivdgl";
+        job.request.user_dn = probe_cert_->subject_dn;
+        job.request.requested_walltime = Time::hours(1);
+        job.request.actual_runtime = Time::minutes(15);
+        job.request.priority = -10;
+        condor_g_.submit_to(
+            *gk, std::move(job),
+            [done = std::move(done)](const gram::GramResult& r) {
+              done(r.ok());
+            });
+      });
+
+  // A trip fans out to every VO broker: drop the site from candidate
+  // sets, re-match held jobs, return gang leases parked there.
+  health_->on_trip([this](const std::string& site) {
+    for (auto& [name, svc] : vos_) {
+      if (svc.broker) svc.broker->on_site_quarantined(site);
+    }
+  });
+
+  for (auto& [name, svc] : vos_) {
+    if (svc.broker) svc.broker->set_health(health_.get());
+    svc.dagman->set_health(health_.get());
+  }
+  return *health_;
 }
 
 broker::ResourceBroker* Grid3::broker(const std::string& vo_name) {

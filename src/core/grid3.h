@@ -20,6 +20,7 @@
 #include "gram/condor_g.h"
 #include "gridftp/gridftp.h"
 #include "gridftp/netlogger.h"
+#include "health/health.h"
 #include "net/network.h"
 #include "rls/rls.h"
 #include "sim/simulation.h"
@@ -122,6 +123,17 @@ class Grid3 final : public workflow::SiteServices,
   [[nodiscard]] placement::PlacementLedger* placement(
       const std::string& vo_name);
 
+  /// Attach the grid-wide site-health monitor: breaker events publish on
+  /// the iGOC bus and mirror into ACDC, trips open iGOC trouble tickets
+  /// (re-admissions close them), probation probes run as backfill
+  /// site-verify jobs under the ivdgl operations VO, and every attached
+  /// broker (existing and future) excludes quarantined sites, kicks its
+  /// held jobs, and returns quarantined gang leases on a trip.
+  /// Idempotent: a second call returns the existing monitor.
+  health::SiteHealthMonitor& attach_health(health::HealthConfig cfg = {});
+  /// The grid's health monitor, or null before attach_health.
+  [[nodiscard]] health::SiteHealthMonitor* health() { return health_.get(); }
+
   // --- workflow::SiteServices + broker::GatekeeperDirectory -------------
   /// One override serves both bases (identical signatures).
   [[nodiscard]] gram::Gatekeeper* gatekeeper(const std::string& site) override;
@@ -158,6 +170,8 @@ class Grid3 final : public workflow::SiteServices,
   gridftp::GridFtpClient ftp_client_;
   gram::CondorG condor_g_;
   FailureInjector failures_;
+  std::unique_ptr<health::SiteHealthMonitor> health_;
+  std::optional<vo::Certificate> probe_cert_;  ///< site-verify identity
   std::map<std::string, VoServices> vos_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<std::unique_ptr<ExternalHost>> externals_;

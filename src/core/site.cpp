@@ -157,6 +157,20 @@ void Site::publish_dynamic() {
                 static_cast<std::int64_t>(scheduler_->queued_count()), now);
   gris_.publish(mds::glue::kSeAvailableGb, disk_.free().to_gb(), now);
   gris_.publish(mds::glue::kSeTotalGb, disk_.capacity().to_gb(), now);
+  // SE drain rate: GB released (tape migration, cleanup) per hour since
+  // the last sample.  First sample publishes 0 (no baseline interval).
+  double drain_gb_per_hour = 0.0;
+  if (drain_sampled_) {
+    const double dt_hours = (now - last_drain_sample_).to_hours();
+    if (dt_hours > 0.0) {
+      drain_gb_per_hour =
+          (disk_.released_total() - last_released_).to_gb() / dt_hours;
+    }
+  }
+  gris_.publish(mds::grid3ext::kSeDrainGbPerHour, drain_gb_per_hour, now);
+  last_released_ = disk_.released_total();
+  last_drain_sample_ = now;
+  drain_sampled_ = true;
 }
 
 void Site::start_services(Time monitor_period) {

@@ -143,6 +143,10 @@ class Site {
   pacman::InstallReport install_report_;
   bool installed_ = false;
   int local_jobs_running_ = 0;
+  // Drain-rate differentiation baseline (see publish_dynamic).
+  Bytes last_released_;
+  Time last_drain_sample_;
+  bool drain_sampled_ = false;
 };
 
 }  // namespace grid3::core

@@ -1,0 +1,246 @@
+#include "health/health.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace grid3::health {
+
+const char* to_string(Service s) {
+  switch (s) {
+    case Service::kSubmit: return "submit";
+    case Service::kBatch: return "batch";
+    case Service::kTransfer: return "transfer";
+    case Service::kStorage: return "storage";
+  }
+  return "?";
+}
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void SiteHealthMonitor::report(const std::string& site, Service service,
+                               bool ok, Time now) {
+  Breaker& b = breakers_[site];
+  ServiceScore& s = b.scores[static_cast<std::size_t>(service)];
+  s.ewma = (1.0 - cfg_.ewma_alpha) * s.ewma + cfg_.ewma_alpha * (ok ? 0.0 : 1.0);
+  ++s.samples;
+  switch (b.state) {
+    case BreakerState::kClosed:
+      if (!ok && s.samples >= static_cast<std::uint64_t>(cfg_.min_samples) &&
+          s.ewma >= cfg_.trip_threshold) {
+        trip(site, b, to_string(service), s.ewma, now);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // With a probe submitter, probes own re-certification; stray
+      // in-flight results from before the trip only update the scores.
+      if (probe_submitter_) break;
+      if (!ok) {
+        trip(site, b, to_string(service), s.ewma, now);
+      } else if (++b.probe_successes >= cfg_.probes_required) {
+        readmit(site, b, now);
+      }
+      break;
+    case BreakerState::kOpen:
+      break;  // stragglers bound before the trip; nothing to decide
+  }
+}
+
+void SiteHealthMonitor::report_batch(const std::string& site, bool ok,
+                                     Time submitted, Time finished,
+                                     Time requested_walltime, Time now) {
+  if (ok) {
+    report(site, Service::kBatch, true, now);
+    return;
+  }
+  const double lived = (finished - submitted).to_seconds();
+  const double requested = requested_walltime.to_seconds();
+  if (requested <= 0.0 || lived < cfg_.fast_fail_fraction * requested) {
+    report(site, Service::kBatch, false, now);
+  }
+}
+
+void SiteHealthMonitor::trip(const std::string& site, Breaker& b,
+                             const std::string& service, double score,
+                             Time now) {
+  b.state = BreakerState::kOpen;
+  ++b.epoch;
+  ++b.streak;
+  ++b.trips;
+  ++trips_;
+  b.probe_successes = 0;
+  record(site, "trip", service, score, now);
+  publish(site, metric::kTrips, b.trips, now);
+  if (b.ticket == 0 && ticket_open_) {
+    b.ticket = ticket_open_(site, "quarantined: " + service +
+                                      " failure rate tripped breaker",
+                            now);
+  }
+  if (b.window == kNoWindow) {
+    b.window = windows_.size();
+    windows_.push_back({b.ticket != 0 ? b.ticket : trips_, site,
+                        "site-quarantined", now, Time::max()});
+  }
+  // Escalating quarantine: base * escalation^(streak-1), capped.
+  double q = cfg_.quarantine_base.to_seconds();
+  for (int i = 1; i < b.streak; ++i) q *= cfg_.quarantine_escalation;
+  q = std::min(q, cfg_.quarantine_cap.to_seconds());
+  const std::uint64_t epoch = b.epoch;
+  sim_.schedule_in(Time::seconds(q),
+                   [this, site, epoch] { enter_half_open(site, epoch); });
+  for (const auto& f : trip_observers_) f(site);
+}
+
+void SiteHealthMonitor::enter_half_open(const std::string& site,
+                                        std::uint64_t epoch) {
+  auto it = breakers_.find(site);
+  if (it == breakers_.end()) return;
+  Breaker& b = it->second;
+  if (b.state != BreakerState::kOpen || b.epoch != epoch) return;
+  b.state = BreakerState::kHalfOpen;
+  b.probe_successes = 0;
+  record(site, "half-open", "", 0.0, sim_.now());
+  if (probe_submitter_) launch_probe(site, b.epoch);
+}
+
+void SiteHealthMonitor::launch_probe(const std::string& site,
+                                     std::uint64_t epoch) {
+  probe_submitter_(site, [this, site, epoch](bool ok) {
+    on_probe(site, epoch, ok);
+  });
+}
+
+void SiteHealthMonitor::on_probe(const std::string& site, std::uint64_t epoch,
+                                 bool ok) {
+  auto it = breakers_.find(site);
+  if (it == breakers_.end()) return;
+  Breaker& b = it->second;
+  if (b.state != BreakerState::kHalfOpen || b.epoch != epoch) return;
+  const Time now = sim_.now();
+  ++b.probes;
+  ++probes_;
+  publish(site, metric::kProbes, b.probes, now);
+  record(site, ok ? "probe-ok" : "probe-fail", "", 0.0, now);
+  if (!ok) {
+    // Probation failed: back to quarantine, escalated.
+    trip(site, b, "probe", 1.0, now);
+    return;
+  }
+  if (++b.probe_successes >= cfg_.probes_required) {
+    readmit(site, b, now);
+    return;
+  }
+  sim_.schedule_in(cfg_.probe_interval, [this, site, epoch] {
+    auto jt = breakers_.find(site);
+    if (jt == breakers_.end()) return;
+    if (jt->second.state != BreakerState::kHalfOpen ||
+        jt->second.epoch != epoch) {
+      return;
+    }
+    launch_probe(site, epoch);
+  });
+}
+
+void SiteHealthMonitor::readmit(const std::string& site, Breaker& b,
+                                Time now) {
+  b.state = BreakerState::kClosed;
+  ++b.epoch;
+  b.streak = 0;
+  b.probe_successes = 0;
+  // Fresh start: the repaired site must not re-trip on pre-repair
+  // history the EWMA still remembers.
+  for (ServiceScore& s : b.scores) s = {};
+  ++b.readmissions;
+  ++readmissions_;
+  record(site, "readmit", "", 0.0, now);
+  publish(site, metric::kReadmissions, b.readmissions, now);
+  if (b.ticket != 0 && ticket_close_) {
+    ticket_close_(b.ticket, now);
+  }
+  b.ticket = 0;
+  if (b.window != kNoWindow) {
+    windows_[b.window].closed = now;
+    b.window = kNoWindow;
+  }
+  for (const auto& f : readmit_observers_) f(site);
+}
+
+BreakerState SiteHealthMonitor::state(const std::string& site) const {
+  auto it = breakers_.find(site);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+bool SiteHealthMonitor::quarantined(const std::string& site) const {
+  auto it = breakers_.find(site);
+  if (it == breakers_.end()) return false;
+  switch (it->second.state) {
+    case BreakerState::kOpen:
+      return true;
+    case BreakerState::kHalfOpen:
+      // With a probe submitter the probes re-certify and production
+      // traffic stays out; without one, trial traffic is the probe.
+      return probe_submitter_ != nullptr;
+    case BreakerState::kClosed:
+      return false;
+  }
+  return false;
+}
+
+double SiteHealthMonitor::score(const std::string& site,
+                                Service service) const {
+  auto it = breakers_.find(site);
+  if (it == breakers_.end()) return 0.0;
+  return it->second.scores[static_cast<std::size_t>(service)].ewma;
+}
+
+void SiteHealthMonitor::record(const std::string& site,
+                               const std::string& event,
+                               const std::string& service, double score,
+                               Time now) {
+  BreakerEvent e;
+  e.seq = static_cast<std::uint64_t>(events_.size()) + 1;
+  e.at = now;
+  e.site = site;
+  e.event = event;
+  e.service = service;
+  e.score = score;
+  if (accounting_ != nullptr) {
+    accounting_->insert_breaker(
+        {e.seq, e.at, e.site, e.event, e.service, e.score});
+  }
+  events_.push_back(std::move(e));
+}
+
+void SiteHealthMonitor::publish(const std::string& site, const char* name,
+                                std::uint64_t value, Time now) {
+  if (bus_ == nullptr) return;
+  bus_->publish(site, name, now, static_cast<double>(value));
+}
+
+std::string SiteHealthMonitor::serialize_events() const {
+  std::string out;
+  out.reserve(events_.size() * 64);
+  char buf[64];
+  for (const BreakerEvent& e : events_) {
+    out += std::to_string(e.seq);
+    std::snprintf(buf, sizeof(buf), "|t=%.3f", e.at.to_seconds());
+    out += buf;
+    out += '|';
+    out += e.site;
+    out += '|';
+    out += e.event;
+    out += '|';
+    out += e.service;
+    std::snprintf(buf, sizeof(buf), "|score=%.6f\n", e.score);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace grid3::health

@@ -1,0 +1,237 @@
+// Site-health circuit breakers: automated black-hole quarantine.
+//
+// The paper attributes ~90% of Grid3 failures to site problems -- "more
+// frequently a disk would fill up or a service would fail and all jobs
+// submitted to a site would die" (section 6.1).  The classic black-hole
+// site fast-fails everything thrown at it, so queue-depth ranking sees
+// an empty queue and funnels the whole workload in.  Grid3 broke that
+// loop by hand: an operator noticed the burst, opened an iGOC ticket,
+// told VOs to steer around the site, and re-certified it with
+// site-verify probes before re-admission.  This module automates the
+// loop.
+//
+// SiteHealthMonitor consumes per-site, per-service completion feedback
+// (gatekeeper submit outcomes, GridFTP transfer failures, SRM/lease
+// rejections, batch fast-fails) into EWMA failure-rate scores and
+// drives a per-site circuit breaker:
+//
+//   closed     healthy; feedback updates the scores.
+//   open       quarantined: the broker excludes the site from match and
+//              gang candidate sets, held jobs re-match elsewhere,
+//              pending gang leases are returned, and an iGOC trouble
+//              ticket is opened.  Quarantine length escalates on
+//              repeated trips (exponential, capped).
+//   half-open  probation: a trickle of probe/exerciser jobs re-certify
+//              the site (Grid3's site-verify practice).  Enough
+//              consecutive probe successes re-admit it and close the
+//              ticket; one failure re-opens with a longer quarantine.
+//              Without a probe submitter attached, regular trial
+//              traffic plays the probe role.
+//
+// The module sits below broker/core in the layering: feedback arrives
+// through a neutral report() API and side effects leave through
+// callbacks (ticket open/close, probe submission, trip observers), so
+// health depends only on sim/monitoring/util.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitoring/acdc.h"
+#include "monitoring/bus.h"
+#include "monitoring/troubleshoot.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace grid3::health {
+
+/// The per-site service classes scored independently: a full SE must not
+/// shadow a healthy gatekeeper, and vice versa.
+enum class Service {
+  kSubmit,    ///< gatekeeper accept/auth path (GRAM submit outcomes)
+  kBatch,     ///< jobs die under the LRMS / site environment (fast-fails)
+  kTransfer,  ///< GridFTP stage-in/out and data-node transfers
+  kStorage,   ///< SRM reservations / placement-lease rejections
+};
+inline constexpr int kServiceCount = 4;
+
+[[nodiscard]] const char* to_string(Service s);
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] const char* to_string(BreakerState s);
+
+struct HealthConfig {
+  /// Per-event EWMA weight of the failure indicator.
+  double ewma_alpha = 0.25;
+  /// Score at or above which a closed breaker trips.
+  double trip_threshold = 0.6;
+  /// Events a (site, service) score needs before it may trip (a single
+  /// unlucky submission must not quarantine a site).
+  int min_samples = 6;
+  /// A failed job that died within this fraction of its requested
+  /// walltime counts as a batch fast-fail -- the black-hole signature.
+  double fast_fail_fraction = 0.25;
+  /// First quarantine length; escalates per consecutive trip.
+  Time quarantine_base = Time::minutes(30);
+  double quarantine_escalation = 2.0;
+  Time quarantine_cap = Time::hours(8);
+  /// Consecutive probe successes required to re-admit a site.
+  int probes_required = 3;
+  /// Spacing between probation probes (the exerciser's cadence).
+  Time probe_interval = Time::minutes(15);
+};
+
+/// One breaker state-machine event, append-only (the determinism tests
+/// diff serialize_events() byte-for-byte).
+struct BreakerEvent {
+  std::uint64_t seq = 0;
+  Time at;
+  std::string site;
+  std::string event;    ///< trip | half-open | probe-ok | probe-fail | readmit
+  std::string service;  ///< service that tripped it ("" otherwise)
+  double score = 0.0;   ///< EWMA at the event
+};
+
+/// Counter metric names published per site on the MetricBus.
+namespace metric {
+inline constexpr const char* kTrips = "health.trips";
+inline constexpr const char* kProbes = "health.probes";
+inline constexpr const char* kReadmissions = "health.readmissions";
+}  // namespace metric
+
+class SiteHealthMonitor {
+ public:
+  /// Submits one probe job at `site`; `done(ok)` must fire exactly once.
+  using ProbeSubmitter = std::function<void(
+      const std::string& site, std::function<void(bool ok)> done)>;
+  using TicketOpenFn = std::function<std::uint64_t(
+      const std::string& site, const std::string& issue, Time now)>;
+  using TicketCloseFn = std::function<void(std::uint64_t id, Time now)>;
+  using SiteObserver = std::function<void(const std::string& site)>;
+
+  explicit SiteHealthMonitor(sim::Simulation& sim, HealthConfig cfg = {})
+      : sim_{sim}, cfg_{cfg} {}
+  SiteHealthMonitor(const SiteHealthMonitor&) = delete;
+  SiteHealthMonitor& operator=(const SiteHealthMonitor&) = delete;
+
+  [[nodiscard]] const HealthConfig& config() const { return cfg_; }
+
+  // --- wiring ---------------------------------------------------------
+  /// Publish per-site trip/probe/readmission counters (site name is the
+  /// bus key, so they plot next to that site's gatekeeper load).
+  void set_metric_bus(monitoring::MetricBus* bus) { bus_ = bus; }
+  /// Mirror breaker events into the ACDC database.
+  void set_accounting(monitoring::JobDatabase* db) { accounting_ = db; }
+  /// iGOC trouble-ticket hooks: a trip opens a ticket, re-admission
+  /// closes it.
+  void set_tickets(TicketOpenFn open, TicketCloseFn close) {
+    ticket_open_ = std::move(open);
+    ticket_close_ = std::move(close);
+  }
+  /// Probation probes (site-verify jobs).  Without one, half-open admits
+  /// regular trial traffic and its outcomes decide re-admission.
+  void set_probe_submitter(ProbeSubmitter submit) {
+    probe_submitter_ = std::move(submit);
+  }
+  /// Observers fire on every trip / re-admission (the broker kicks its
+  /// held jobs and returns quarantined gang leases from here).
+  void on_trip(SiteObserver f) { trip_observers_.push_back(std::move(f)); }
+  void on_readmit(SiteObserver f) {
+    readmit_observers_.push_back(std::move(f));
+  }
+
+  // --- feedback -------------------------------------------------------
+  /// One service outcome at a site.  Failures push the (site, service)
+  /// EWMA toward 1, successes decay it; a closed breaker trips when the
+  /// score crosses the threshold with enough samples behind it.
+  void report(const std::string& site, Service service, bool ok, Time now);
+
+  /// Batch-layer feedback with fast-fail classification: a failed job
+  /// that died within fast_fail_fraction of its requested walltime is
+  /// the black-hole signature and scores as a kBatch failure; successes
+  /// decay the score; slow failures (e.g. a genuine walltime kill) are
+  /// not a batch-health signal.
+  void report_batch(const std::string& site, bool ok, Time submitted,
+                    Time finished, Time requested_walltime, Time now);
+
+  // --- queries --------------------------------------------------------
+  [[nodiscard]] BreakerState state(const std::string& site) const;
+  /// True when the broker must exclude the site: open, or half-open
+  /// while a probe submitter owns re-certification.
+  [[nodiscard]] bool quarantined(const std::string& site) const;
+  [[nodiscard]] double score(const std::string& site, Service service) const;
+
+  [[nodiscard]] std::uint64_t trips() const { return trips_; }
+  [[nodiscard]] std::uint64_t probes() const { return probes_; }
+  [[nodiscard]] std::uint64_t readmissions() const { return readmissions_; }
+
+  [[nodiscard]] const std::vector<BreakerEvent>& events() const {
+    return events_;
+  }
+  /// Canonical one-line-per-event rendering (byte-identical across runs
+  /// with the same seed -- the determinism test diffs this).
+  [[nodiscard]] std::string serialize_events() const;
+
+  /// Quarantine intervals as Troubleshooter incident windows (closed ==
+  /// Time::max() while still quarantined), so failure bursts correlate
+  /// against breaker trips exactly like iGOC tickets.
+  [[nodiscard]] std::vector<monitoring::IncidentWindow> quarantine_windows()
+      const {
+    return windows_;
+  }
+
+ private:
+  struct ServiceScore {
+    double ewma = 0.0;
+    std::uint64_t samples = 0;
+  };
+  static constexpr std::size_t kNoWindow = static_cast<std::size_t>(-1);
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    std::array<ServiceScore, kServiceCount> scores;
+    int streak = 0;  ///< consecutive trips without a re-admission
+    int probe_successes = 0;
+    /// Bumped on every transition; stale probe callbacks and half-open
+    /// timers carry the epoch they were armed under and no-op on
+    /// mismatch.
+    std::uint64_t epoch = 0;
+    std::uint64_t ticket = 0;             ///< open iGOC ticket (0 = none)
+    std::size_t window = kNoWindow;       ///< open quarantine interval
+    std::uint64_t trips = 0, probes = 0, readmissions = 0;
+  };
+
+  void trip(const std::string& site, Breaker& b, const std::string& service,
+            double score, Time now);
+  void enter_half_open(const std::string& site, std::uint64_t epoch);
+  void launch_probe(const std::string& site, std::uint64_t epoch);
+  void on_probe(const std::string& site, std::uint64_t epoch, bool ok);
+  void readmit(const std::string& site, Breaker& b, Time now);
+  void record(const std::string& site, const std::string& event,
+              const std::string& service, double score, Time now);
+  void publish(const std::string& site, const char* name,
+               std::uint64_t value, Time now);
+
+  sim::Simulation& sim_;
+  HealthConfig cfg_;
+  monitoring::MetricBus* bus_ = nullptr;
+  monitoring::JobDatabase* accounting_ = nullptr;
+  TicketOpenFn ticket_open_;
+  TicketCloseFn ticket_close_;
+  ProbeSubmitter probe_submitter_;
+  std::vector<SiteObserver> trip_observers_;
+  std::vector<SiteObserver> readmit_observers_;
+
+  std::map<std::string, Breaker> breakers_;
+  std::vector<BreakerEvent> events_;
+  std::vector<monitoring::IncidentWindow> windows_;
+  std::uint64_t trips_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t readmissions_ = 0;
+};
+
+}  // namespace grid3::health

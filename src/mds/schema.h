@@ -45,6 +45,10 @@ inline constexpr std::string_view kVdtVersion = "Grid3VdtVersion";
 inline constexpr std::string_view kSiteOwnerVo = "Grid3SiteOwnerVO";
 inline constexpr std::string_view kOutboundConnectivity =
     "Grid3OutboundConnectivity";
+/// SE drain rate (GB freed per hour between monitor samples, e.g. tape
+/// migration emptying the archive): lets the broker tell a temporarily
+/// full archive from a structurally full one.
+inline constexpr std::string_view kSeDrainGbPerHour = "Grid3SeDrainGbPerHour";
 /// Installed-application marker prefix: an app publishes
 /// "Grid3App-<name>" = version once its Pacman install validated.
 inline constexpr std::string_view kAppPrefix = "Grid3App-";

@@ -54,6 +54,21 @@ JobDatabase::GangSummary JobDatabase::gang_events(
   return out;
 }
 
+void JobDatabase::insert_breaker(BreakerRecord breaker) {
+  breakers_.push_back(std::move(breaker));
+}
+
+std::map<std::string, std::size_t> JobDatabase::breaker_events(
+    Time from, Time to, const std::string& site) const {
+  std::map<std::string, std::size_t> out;
+  for (const BreakerRecord& b : breakers_) {
+    if (b.at < from || b.at >= to) continue;
+    if (!site.empty() && b.site != site) continue;
+    ++out[b.event];
+  }
+  return out;
+}
+
 std::map<std::string, std::size_t> JobDatabase::placements_by_site(
     Time from, Time to, const std::string& vo) const {
   std::map<std::string, std::size_t> out;

@@ -86,6 +86,20 @@ struct GangRecord {
   Bytes intermediates;    ///< level-aggregate intermediate bytes
 };
 
+/// One site-health circuit-breaker event, mirrored from the health
+/// monitor: trips into quarantine, probation probes, and re-admissions.
+/// Lets operations queries line breaker activity up against the job and
+/// ticket records it reacted to.
+struct BreakerRecord {
+  std::uint64_t seq = 0;
+  Time at;
+  std::string site;
+  std::string event;    ///< "trip" | "half-open" | "probe-ok" |
+                        ///< "probe-fail" | "readmit"
+  std::string service;  ///< service class that tripped it ("" otherwise)
+  double score = 0.0;   ///< EWMA failure score at the event
+};
+
 /// Per-site transfer accounting feeding Figure 5.
 struct TransferEntry {
   std::string src_site;
@@ -120,6 +134,7 @@ class JobDatabase {
   void insert_match(MatchRecord match);
   void insert_lease(LeaseRecord lease);
   void insert_gang(GangRecord gang);
+  void insert_breaker(BreakerRecord breaker);
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] const std::vector<JobRecord>& records() const {
@@ -136,6 +151,9 @@ class JobDatabase {
   }
   [[nodiscard]] const std::vector<GangRecord>& gangs() const {
     return gangs_;
+  }
+  [[nodiscard]] const std::vector<BreakerRecord>& breakers() const {
+    return breakers_;
   }
 
   /// Lease lifecycle counts by event over a window (empty vo = all VOs):
@@ -154,6 +172,11 @@ class JobDatabase {
   };
   [[nodiscard]] GangSummary gang_events(Time from, Time to,
                                         const std::string& vo = {}) const;
+
+  /// Circuit-breaker activity over a window (empty site = all sites):
+  /// event -> count (trip, half-open, probe-ok, probe-fail, readmit).
+  [[nodiscard]] std::map<std::string, std::size_t> breaker_events(
+      Time from, Time to, const std::string& site = {}) const;
 
   /// Broker placement distribution: match decisions per chosen site over
   /// a window (empty vo = all VOs).
@@ -211,6 +234,7 @@ class JobDatabase {
   std::vector<MatchRecord> matches_;
   std::vector<LeaseRecord> leases_;
   std::vector<GangRecord> gangs_;
+  std::vector<BreakerRecord> breakers_;
 };
 
 }  // namespace grid3::monitoring

@@ -103,6 +103,18 @@ class MdViewer {
       Time from, Time to, const std::string& vo = {}) const {
     return jobs_.gang_events(from, to, vo);
   }
+  /// Site-health breaker activity from the ACDC mirror: event -> count
+  /// over a window (trip, half-open, probe-ok, probe-fail, readmit).
+  [[nodiscard]] std::map<std::string, std::size_t> breaker_events(
+      Time from, Time to, const std::string& site = {}) const {
+    return jobs_.breaker_events(from, to, site);
+  }
+  /// Per-site health counter series published on the bus
+  /// (health.trips/probes/readmissions; the site name is the bus key).
+  [[nodiscard]] const util::TimeSeries& health_counter(
+      const std::string& site, const std::string& counter) const {
+    return bus_.series(site, counter);
+  }
 
   /// Redundant-path crosscheck (section 5.2): relative divergence between
   /// the ACDC-derived average grid-job concurrency and the MonALISA

@@ -15,6 +15,8 @@ bool DiskVolume::allocate(Bytes size) {
 }
 
 void DiskVolume::release(Bytes size) {
+  const Bytes freed = std::min(used_, size);
+  released_total_ += freed;
   used_ = std::max(Bytes::zero(), used_ - size);
 }
 

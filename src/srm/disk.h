@@ -44,11 +44,15 @@ class DiskVolume {
   /// Lifetime allocation counters for accounting.
   [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
   [[nodiscard]] std::uint64_t failures() const { return failures_; }
+  /// Cumulative bytes released over the volume's lifetime; the site
+  /// monitor differentiates this into the published drain rate.
+  [[nodiscard]] Bytes released_total() const { return released_total_; }
 
  private:
   std::string name_;
   Bytes capacity_;
   Bytes used_;
+  Bytes released_total_;
   std::uint64_t allocations_ = 0;
   std::uint64_t failures_ = 0;
 };

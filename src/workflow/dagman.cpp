@@ -4,8 +4,49 @@
 #include <map>
 
 #include "broker/broker.h"
+#include "health/health.h"
 
 namespace grid3::workflow {
+
+namespace {
+
+/// Health feedback for direct-submit (non-brokered) compute nodes; the
+/// broker classifies its own submissions, so this covers only jobs the
+/// broker never saw.  Mirrors ResourceBroker::report_health.
+void report_gram_health(health::SiteHealthMonitor* health,
+                        const std::string& site, const gram::GramResult& r,
+                        Time requested_walltime, Time now) {
+  if (health == nullptr) return;
+  switch (r.status) {
+    case gram::GramStatus::kCompleted:
+      health->report(site, health::Service::kSubmit, true, now);
+      health->report_batch(site, true, r.submitted, r.finished,
+                           requested_walltime, now);
+      break;
+    case gram::GramStatus::kGatekeeperDown:
+    case gram::GramStatus::kGatekeeperOverloaded:
+      health->report(site, health::Service::kSubmit, false, now);
+      break;
+    case gram::GramStatus::kStageInFailed:
+    case gram::GramStatus::kStageOutFailed:
+      health->report(site, health::Service::kTransfer, false, now);
+      break;
+    case gram::GramStatus::kDiskFull:
+      health->report(site, health::Service::kStorage, false, now);
+      break;
+    case gram::GramStatus::kEnvironmentError:
+      health->report(site, health::Service::kBatch, false, now);
+      break;
+    case gram::GramStatus::kJobKilled:
+      health->report_batch(site, false, r.submitted, r.finished,
+                           requested_walltime, now);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
 
 DagMan::DagMan(sim::Simulation& sim, gram::CondorG& condor_g,
                gridftp::GridFtpClient& ftp, rls::ReplicaLocationService* rls,
@@ -292,6 +333,9 @@ void DagMan::start_node(const std::shared_ptr<Run>& run, std::size_t idx) {
       condor_g_.submit_to(*gk, std::move(job),
                           [this, run, idx](const gram::GramResult& res) {
                             const ConcreteNode& n = run->dag.nodes[idx];
+                            report_gram_health(health_, n.site, res,
+                                               n.requested_walltime,
+                                               sim_.now());
                             NodeResult r;
                             r.index = idx;
                             r.type = n.type;
@@ -342,6 +386,12 @@ void DagMan::start_node(const std::shared_ptr<Run>& run, std::size_t idx) {
       ftp_.transfer(std::move(req),
                     [this, run, idx](const gridftp::TransferRecord& rec) {
                       const ConcreteNode& n = run->dag.nodes[idx];
+                      // Transfer nodes land at the destination SE; their
+                      // outcomes score that site's transfer service.
+                      if (health_ != nullptr) {
+                        health_->report(n.site, health::Service::kTransfer,
+                                        rec.ok(), sim_.now());
+                      }
                       NodeResult r;
                       r.index = idx;
                       r.type = n.type;
@@ -407,6 +457,17 @@ void DagMan::node_done(const std::shared_ptr<Run>& run, std::size_t idx,
     launch_ready(run);
     maybe_finish(run);
     return;
+  }
+
+  // A failure at a site the health monitor has since quarantined is the
+  // grid's fault, not the node's: refund the attempt so the black hole
+  // does not drain the retry budget.  Brokered nodes only -- the next
+  // attempt re-matches elsewhere, whereas a fixed-site node would just
+  // pound the quarantined site forever.
+  if (health_ != nullptr && !result.site.empty() &&
+      run->dag.nodes[idx].broker_spec.has_value() && broker_ != nullptr &&
+      health_->quarantined(result.site) && run->attempts[idx] > 0) {
+    --run->attempts[idx];
   }
 
   if (run->attempts[idx] <= cfg_.node_retries) {

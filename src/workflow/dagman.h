@@ -27,6 +27,10 @@ class ResourceBroker;
 struct BrokeredResult;
 }  // namespace grid3::broker
 
+namespace grid3::health {
+class SiteHealthMonitor;
+}  // namespace grid3::health
+
 namespace grid3::workflow {
 
 /// Resolves site names to their service endpoints; implemented by the
@@ -99,6 +103,13 @@ class DagMan {
   void set_broker(broker::ResourceBroker* broker) { broker_ = broker; }
   [[nodiscard]] broker::ResourceBroker* broker() const { return broker_; }
 
+  /// Optional site-health monitor: DAGMan feeds it the outcomes the
+  /// broker never sees (direct-submit compute nodes, GridFTP transfer
+  /// nodes) and refunds retry budget for failures at sites the monitor
+  /// has since quarantined.
+  void set_health(health::SiteHealthMonitor* monitor) { health_ = monitor; }
+  [[nodiscard]] health::SiteHealthMonitor* health() const { return health_; }
+
   /// Build the rescue DAG for a failed run: the sub-DAG of nodes that
   /// did not complete, with edges restricted to survivors -- resubmit it
   /// to continue where the run stopped (completed work is not redone).
@@ -165,6 +176,7 @@ class DagMan {
   SiteServices& services_;
   DagManConfig cfg_;
   broker::ResourceBroker* broker_ = nullptr;
+  health::SiteHealthMonitor* health_ = nullptr;
   std::uint64_t dags_run_ = 0;
 };
 

@@ -197,6 +197,57 @@ TEST(FailureInjection, IncidentsOpenAndCloseTickets) {
             grid.igoc().tickets().total());
 }
 
+TEST(FailureInjection, DetachedSiteStopsReceivingIncidents) {
+  sim::Simulation sim;
+  Grid3 grid{sim, 9};
+  grid.add_vo("usatlas");
+  SiteConfig cfg;
+  cfg.name = "FLAKY";
+  cfg.owner_vo = "usatlas";
+  cfg.cpus = 8;
+  FailureRates rates;
+  rates.disk_fill_mtbf = Time::hours(6);
+  rates.gatekeeper_crash_mtbf = Time::hours(6);
+  rates.network_cut_mtbf = Time::hours(6);
+  rates.service_crash_mtbf = Time::hours(6);
+  Site& site = grid.add_site(cfg, 1000.0);
+  grid.failures().attach(site, rates);
+  sim.run_until(Time::days(7));
+  const std::size_t before = grid.failures().total_incidents();
+  ASSERT_GT(before, 0u);
+
+  grid.failures().detach("FLAKY");
+  sim.run_until(Time::days(30));
+  EXPECT_EQ(grid.failures().total_incidents(), before);
+}
+
+TEST(FailureInjection, DetachLeavesOpenTicketsClosable) {
+  sim::Simulation sim;
+  Grid3 grid{sim, 10};
+  grid.add_vo("usatlas");
+  SiteConfig cfg;
+  cfg.name = "FLAKY";
+  cfg.owner_vo = "usatlas";
+  cfg.cpus = 8;
+  FailureRates rates;
+  rates.disk_fill_mtbf = Time::hours(4);
+  rates.gatekeeper_crash_mtbf = Time::hours(4);
+  rates.network_cut_mtbf = Time::hours(4);
+  rates.service_crash_mtbf = Time::hours(4);
+  Site& site = grid.add_site(cfg, 1000.0);
+  grid.failures().attach(site, rates);
+  // Run until at least one incident has a ticket open, then detach
+  // mid-repair: the already-scheduled repair must still close it.
+  while (grid.igoc().tickets().open_count() == 0 &&
+         sim.now() < Time::days(10)) {
+    sim.run_until(sim.now() + Time::hours(1));
+  }
+  ASSERT_GT(grid.igoc().tickets().open_count(), 0u);
+  grid.failures().detach("FLAKY");
+  sim.run_until(sim.now() + Time::days(3));
+  EXPECT_EQ(grid.igoc().tickets().open_count(), 0u);
+}
+
 TEST(FailureInjection, RolloverKillsRunningJobs) {
   sim::Simulation sim;
   Grid3 grid{sim, 8};

@@ -1,0 +1,423 @@
+// Site-health circuit breakers: EWMA trip mechanics, ticket lifecycle,
+// quarantine exclusion from broker matching, gang-lease return on trip,
+// probed re-admission after repair, rebind-budget exemption, monitoring
+// visibility (bus / ACDC / MDViewer / Troubleshooter), and determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/rank_policy.h"
+#include "core/grid3.h"
+#include "core/site.h"
+#include "gram/gatekeeper.h"
+#include "health/health.h"
+#include "monitoring/acdc.h"
+#include "monitoring/mdviewer.h"
+#include "monitoring/troubleshoot.h"
+#include "pacman/vdt.h"
+#include "placement/ledger.h"
+#include "sim/simulation.h"
+
+namespace grid3::health {
+namespace {
+
+using broker::JobSpec;
+
+// --- unit: the breaker state machine --------------------------------------
+
+TEST(Monitor, TripsAfterEwmaThresholdWithTicket) {
+  sim::Simulation sim;
+  SiteHealthMonitor mon{sim};
+  std::vector<std::string> opened;
+  mon.set_tickets(
+      [&](const std::string& site, const std::string& issue, Time) {
+        opened.push_back(site + ": " + issue);
+        return std::uint64_t{7};
+      },
+      [](std::uint64_t, Time) {});
+
+  for (int i = 0; i < 6; ++i) {
+    mon.report("bh", Service::kSubmit, false, sim.now());
+  }
+  EXPECT_EQ(mon.state("bh"), BreakerState::kOpen);
+  EXPECT_TRUE(mon.quarantined("bh"));
+  EXPECT_EQ(mon.trips(), 1u);
+  ASSERT_EQ(opened.size(), 1u);
+  EXPECT_NE(opened[0].find("bh"), std::string::npos);
+  EXPECT_NE(opened[0].find("submit"), std::string::npos);
+
+  // The quarantine interval is queryable and still open.
+  const auto windows = mon.quarantine_windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].site, "bh");
+  EXPECT_EQ(windows[0].closed, Time::max());
+}
+
+TEST(Monitor, MinSamplesGateBlocksEarlyTrip) {
+  sim::Simulation sim;
+  SiteHealthMonitor mon{sim};
+  // EWMA crosses the threshold after 4 failures, but the sample gate
+  // (6) holds the breaker closed: one unlucky burst must not quarantine.
+  for (int i = 0; i < 5; ++i) {
+    mon.report("s", Service::kSubmit, false, sim.now());
+  }
+  EXPECT_EQ(mon.state("s"), BreakerState::kClosed);
+  EXPECT_FALSE(mon.quarantined("s"));
+  EXPECT_EQ(mon.trips(), 0u);
+}
+
+TEST(Monitor, ServicesScoreIndependently) {
+  sim::Simulation sim;
+  SiteHealthMonitor mon{sim};
+  for (int i = 0; i < 10; ++i) {
+    mon.report("s", Service::kStorage, false, sim.now());
+    mon.report("s", Service::kSubmit, true, sim.now());
+  }
+  EXPECT_GT(mon.score("s", Service::kStorage), 0.9);
+  EXPECT_LT(mon.score("s", Service::kSubmit), 0.01);
+}
+
+TEST(Monitor, TrialTrafficReadmitsWithoutProbeSubmitter) {
+  sim::Simulation sim;
+  SiteHealthMonitor mon{sim};
+  std::vector<std::uint64_t> closed;
+  mon.set_tickets(
+      [](const std::string&, const std::string&, Time) {
+        return std::uint64_t{42};
+      },
+      [&](std::uint64_t id, Time) { closed.push_back(id); });
+
+  for (int i = 0; i < 6; ++i) {
+    mon.report("s", Service::kBatch, false, sim.now());
+  }
+  ASSERT_EQ(mon.state("s"), BreakerState::kOpen);
+
+  // Past the base quarantine the breaker half-opens; with no probe
+  // submitter it admits trial traffic, so quarantined() is false.
+  sim.run_until(mon.config().quarantine_base + Time::minutes(1));
+  EXPECT_EQ(mon.state("s"), BreakerState::kHalfOpen);
+  EXPECT_FALSE(mon.quarantined("s"));
+
+  for (int i = 0; i < mon.config().probes_required; ++i) {
+    mon.report("s", Service::kBatch, true, sim.now());
+  }
+  EXPECT_EQ(mon.state("s"), BreakerState::kClosed);
+  EXPECT_EQ(mon.readmissions(), 1u);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0], 42u);
+  // Re-admission resets the score: pre-repair history is forgotten.
+  EXPECT_EQ(mon.score("s", Service::kBatch), 0.0);
+  ASSERT_EQ(mon.quarantine_windows().size(), 1u);
+  EXPECT_NE(mon.quarantine_windows()[0].closed, Time::max());
+}
+
+TEST(Monitor, ProbeFailureReopensWithEscalatedQuarantine) {
+  sim::Simulation sim;
+  HealthConfig cfg;
+  int outcome_index = 0;
+  std::vector<bool> outcomes = {false, true, true, true};  // first probe dies
+  SiteHealthMonitor mon{sim, cfg};
+  mon.set_probe_submitter(
+      [&](const std::string&, std::function<void(bool)> done) {
+        done(outcomes[static_cast<std::size_t>(outcome_index++) %
+                      outcomes.size()]);
+      });
+  for (int i = 0; i < 6; ++i) {
+    mon.report("s", Service::kSubmit, false, sim.now());
+  }
+  // Half-open at +30min; the probe fails instantly -> second trip with
+  // an escalated (60min) quarantine.
+  sim.run_until(cfg.quarantine_base + Time::minutes(1));
+  EXPECT_EQ(mon.state("s"), BreakerState::kOpen);
+  EXPECT_EQ(mon.trips(), 2u);
+
+  // Still open at +30min into the second quarantine (escalation doubled
+  // it), then half-open after the full 60min and re-admitted by the
+  // remaining probes.
+  sim.run_until(cfg.quarantine_base + Time::minutes(1) +
+                cfg.quarantine_base);
+  EXPECT_EQ(mon.state("s"), BreakerState::kOpen);
+  sim.run_until(Time::hours(8));
+  EXPECT_EQ(mon.state("s"), BreakerState::kClosed);
+  EXPECT_EQ(mon.readmissions(), 1u);
+  EXPECT_GE(mon.probes(), 3u);
+}
+
+TEST(Monitor, HalfOpenWithProbeSubmitterStillQuarantinesProduction) {
+  sim::Simulation sim;
+  SiteHealthMonitor mon{sim};
+  bool probe_asked = false;
+  mon.set_probe_submitter(
+      [&](const std::string&, std::function<void(bool)>) {
+        probe_asked = true;  // never completes: probation stays pending
+      });
+  for (int i = 0; i < 6; ++i) {
+    mon.report("s", Service::kTransfer, false, sim.now());
+  }
+  sim.run_until(mon.config().quarantine_base + Time::minutes(1));
+  EXPECT_EQ(mon.state("s"), BreakerState::kHalfOpen);
+  EXPECT_TRUE(probe_asked);
+  // Probes own re-certification: production must keep steering around.
+  EXPECT_TRUE(mon.quarantined("s"));
+}
+
+TEST(Monitor, ReportBatchClassifiesFastFails) {
+  sim::Simulation sim;
+  SiteHealthMonitor mon{sim};
+  const Time requested = Time::hours(10);
+  // Dies at 2% of its requested walltime: the black-hole signature.
+  mon.report_batch("s", false, Time::zero(), Time::minutes(12), requested,
+                   sim.now());
+  EXPECT_GT(mon.score("s", Service::kBatch), 0.0);
+  const double after_fast = mon.score("s", Service::kBatch);
+  // A genuine walltime kill at 90% of the request is not a health
+  // signal: score unchanged.
+  mon.report_batch("s", false, Time::zero(), Time::hours(9), requested,
+                   sim.now());
+  EXPECT_EQ(mon.score("s", Service::kBatch), after_fast);
+  // Success decays the score.
+  mon.report_batch("s", true, Time::zero(), Time::hours(9), requested,
+                   sim.now());
+  EXPECT_LT(mon.score("s", Service::kBatch), after_fast);
+}
+
+// --- integration: the brokered fabric --------------------------------------
+
+/// Two-plus-site fabric with a health monitor attached; `bh_cpus` sizes
+/// the would-be black hole so queue-depth ranking prefers it.
+struct HealthFabric {
+  sim::Simulation sim;
+  core::Grid3 grid{sim, 4242};
+  vo::VomsProxy proxy;
+
+  explicit HealthFabric(int bh_cpus = 64, int good_sites = 2,
+                        bool attach_health = true) {
+    grid.add_vo("usatlas");
+    pacman::add_application_package(grid.igoc().pacman_cache(), "app",
+                                    Time::minutes(5));
+    auto add = [&](const std::string& name, int cpus) {
+      core::SiteConfig c;
+      c.name = name;
+      c.owner_vo = "usatlas";
+      c.cpus = cpus;
+      c.policy.max_walltime = Time::hours(48);
+      c.policy.dedicated = true;
+      grid.add_site(c, /*reliability=*/1000.0);
+      grid.site(name)->install_application(grid.igoc().pacman_cache(),
+                                           "app");
+      grid.site(name)->gatekeeper().set_submission_flake_rate(0.0);
+      grid.site(name)->gatekeeper().set_environment_error_rate(0.0);
+    };
+    add("blackhole", bh_cpus);
+    for (int i = 0; i < good_sites; ++i) add("good" + std::to_string(i), 16);
+    const vo::Certificate cert =
+        grid.add_user("usatlas", "tester", vo::Role::kAppAdmin);
+    proxy = *grid.make_proxy(cert, "usatlas", Time::hours(800));
+    refresh_gridmaps();
+    grid.attach_broker("usatlas", broker::PolicyKind::kQueueDepth);
+    if (attach_health) grid.attach_health();
+    grid.start_operations();
+    sim.run_until(Time::minutes(6));  // first dynamic GRIS publication
+  }
+
+  void refresh_gridmaps() {
+    const std::vector<const vo::VomsServer*> servers{grid.voms("usatlas")};
+    for (const auto& s : grid.sites()) s->refresh_gridmap(servers);
+  }
+
+  [[nodiscard]] JobSpec spec(Time runtime = Time::minutes(10)) const {
+    JobSpec s;
+    s.vo = "usatlas";
+    s.app = "app";
+    s.required_app = "app";
+    s.runtime = runtime;
+    return s;
+  }
+
+  [[nodiscard]] gram::GramJob job(Time runtime = Time::minutes(10)) const {
+    gram::GramJob j;
+    j.proxy = proxy;
+    j.request.vo = "usatlas";
+    j.request.user_dn = proxy.identity.subject_dn;
+    j.request.requested_walltime = runtime + Time::hours(1);
+    j.request.actual_runtime = runtime;
+    return j;
+  }
+};
+
+TEST(HealthIntegration, QuarantinedSiteExcludedFromMatching) {
+  HealthFabric f;
+  // Trip the black hole by hand: six submit failures.
+  for (int i = 0; i < 6; ++i) {
+    f.grid.health()->report("blackhole", Service::kSubmit, false,
+                            f.sim.now());
+  }
+  ASSERT_TRUE(f.grid.health()->quarantined("blackhole"));
+
+  std::vector<std::string> sites;
+  auto* b = f.grid.broker("usatlas");
+  for (int i = 0; i < 8; ++i) {
+    b->submit(f.spec(), f.job(),
+              [&](const broker::BrokeredResult& r) { sites.push_back(r.site); });
+  }
+  f.sim.run_until(f.sim.now() + Time::hours(2));
+  ASSERT_EQ(sites.size(), 8u);
+  for (const std::string& s : sites) {
+    EXPECT_TRUE(s == "good0" || s == "good1") << "matched " << s;
+  }
+}
+
+TEST(HealthIntegration, BlackHoleTripsAndWorkCompletesElsewhere) {
+  HealthFabric f;
+  f.grid.site("blackhole")->gatekeeper().set_environment_error_rate(1.0);
+
+  int ok = 0, failed = 0;
+  auto* b = f.grid.broker("usatlas");
+  for (int i = 0; i < 40; ++i) {
+    b->submit(f.spec(), f.job(), [&](const broker::BrokeredResult& r) {
+      (r.ok() ? ok : failed) += 1;
+    });
+  }
+  f.sim.run_until(f.sim.now() + Time::hours(24));
+
+  EXPECT_GE(f.grid.health()->trips(), 1u);
+  EXPECT_EQ(f.grid.health()->state("blackhole"), BreakerState::kOpen);
+  // The detection cost is bounded by the min-sample gate: at most five
+  // jobs die feeding the EWMA.  From the tripping failure onwards the
+  // site's kills are re-matched (for free) and exclusion keeps the rest
+  // away, so everything else completes on a good site.
+  EXPECT_EQ(ok + failed, 40);
+  EXPECT_LE(failed, 5);
+  EXPECT_GE(ok, 35);
+
+  // Trip visible on the bus, in ACDC, and through MDViewer.
+  const auto& series = f.grid.igoc().bus().series(
+      "blackhole", health::metric::kTrips);
+  EXPECT_FALSE(series.empty());
+  const auto acdc =
+      f.grid.igoc().job_db().breaker_events(Time::zero(), Time::max());
+  EXPECT_GE(acdc.at("trip"), 1u);
+  monitoring::MdViewer viewer{f.grid.igoc().job_db(), f.grid.igoc().bus()};
+  EXPECT_GE(viewer.breaker_events(Time::zero(), Time::max(),
+                                  "blackhole")["trip"],
+            1u);
+  EXPECT_FALSE(viewer.health_counter("blackhole", health::metric::kTrips)
+                   .empty());
+  // An iGOC ticket is open for the quarantine.
+  EXPECT_GE(f.grid.igoc().tickets().open_count(), 1u);
+}
+
+TEST(HealthIntegration, ProbedReadmissionAfterRepairClosesTicket) {
+  HealthFabric f;
+  f.grid.site("blackhole")->gatekeeper().set_environment_error_rate(1.0);
+
+  auto* b = f.grid.broker("usatlas");
+  int ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    // Record each outcome in ACDC the way the application layer does, so
+    // the Troubleshooter has job records to build failure bursts from.
+    b->submit(f.spec(), f.job(), [&, i](const broker::BrokeredResult& r) {
+      ok += r.ok();
+      monitoring::JobRecord rec;
+      rec.vo = "usatlas";
+      rec.site = r.site;
+      rec.app = "app";
+      rec.submitted = r.gram.submitted;
+      rec.finished = r.gram.finished;
+      rec.success = r.ok();
+      rec.site_problem = !r.ok();
+      rec.failure = r.ok() ? "" : gram::to_string(r.gram.status);
+      rec.submit_id = "usatlas/app/" + std::to_string(i);
+      f.grid.igoc().job_db().insert(std::move(rec));
+    });
+  }
+  f.sim.run_until(f.sim.now() + Time::hours(6));
+  ASSERT_GE(f.grid.health()->trips(), 1u);
+
+  // Repair the site; the next probation round re-certifies it.
+  f.grid.site("blackhole")->gatekeeper().set_environment_error_rate(0.0);
+  f.sim.run_until(f.sim.now() + Time::hours(30));
+
+  EXPECT_GE(f.grid.health()->readmissions(), 1u);
+  EXPECT_EQ(f.grid.health()->state("blackhole"), BreakerState::kClosed);
+  EXPECT_FALSE(f.grid.health()->quarantined("blackhole"));
+  EXPECT_GE(f.grid.health()->probes(), 3u);
+  EXPECT_EQ(f.grid.igoc().tickets().open_count(), 0u);
+  EXPECT_GE(ok, 15);  // at most the EWMA-feeding five are lost
+
+  // The quarantine interval closed and is Troubleshooter-correlatable:
+  // the failure burst at the black hole matches the breaker's window.
+  const auto windows = f.grid.health()->quarantine_windows();
+  ASSERT_GE(windows.size(), 1u);
+  EXPECT_NE(windows[0].closed, Time::max());
+  monitoring::Troubleshooter shooter{f.grid.igoc().job_db()};
+  auto bursts = monitoring::Troubleshooter::correlate(
+      shooter.find_bursts(Time::zero(), f.sim.now(), 3), windows);
+  bool attributed = false;
+  for (const auto& burst : bursts) {
+    if (burst.site == "blackhole" && burst.ticket.has_value()) {
+      attributed = true;
+    }
+  }
+  EXPECT_TRUE(attributed);
+}
+
+TEST(HealthIntegration, TripReturnsGangLeaseAtQuarantinedPrimary) {
+  HealthFabric f;
+  auto* b = f.grid.broker("usatlas");
+  auto* ledger = f.grid.placement("usatlas");
+  ASSERT_NE(ledger, nullptr);
+
+  broker::GangSpec gang;
+  gang.gang_id = "level-1";
+  gang.intermediates = Bytes::gb(10);
+  for (int i = 0; i < 2; ++i) {
+    JobSpec m = f.spec(Time::hours(4));
+    m.gang_id = "level-1";
+    m.gang_width = 2;
+    m.gang_intermediates = gang.intermediates;
+    gang.members.push_back(m);
+  }
+  std::vector<gram::GramJob> jobs{f.job(Time::hours(4)),
+                                  f.job(Time::hours(4))};
+  b->submit_gang(std::move(gang), std::move(jobs),
+                 [](std::size_t, const broker::BrokeredResult&) {});
+  f.sim.run_until(f.sim.now() + Time::minutes(10));
+  ASSERT_EQ(ledger->active(), 1u);  // gang lease held while members run
+
+  // Trip the gang's primary (the large site wins the whole-fit) while
+  // the members are still executing: the lease must come back.
+  for (int i = 0; i < 6; ++i) {
+    f.grid.health()->report("blackhole", Service::kSubmit, false,
+                            f.sim.now());
+  }
+  EXPECT_EQ(ledger->active(), 0u);
+  EXPECT_GE(ledger->released(), 1u);
+}
+
+TEST(HealthIntegration, BreakerEventsAndMatchLogDeterministic) {
+  auto run = [](std::string* events, std::string* matches) {
+    HealthFabric f;
+    f.grid.site("blackhole")->gatekeeper().set_environment_error_rate(1.0);
+    auto* b = f.grid.broker("usatlas");
+    for (int i = 0; i < 30; ++i) {
+      b->submit(f.spec(), f.job(), [](const broker::BrokeredResult&) {});
+    }
+    f.sim.run_until(Time::hours(12));
+    f.grid.site("blackhole")->gatekeeper().set_environment_error_rate(0.0);
+    f.sim.run_until(Time::hours(40));
+    *events = f.grid.health()->serialize_events();
+    *matches = b->serialize_match_log();
+  };
+  std::string events_a, matches_a, events_b, matches_b;
+  run(&events_a, &matches_a);
+  run(&events_b, &matches_b);
+  EXPECT_FALSE(events_a.empty());
+  EXPECT_EQ(events_a, events_b);
+  EXPECT_EQ(matches_a, matches_b);
+}
+
+}  // namespace
+}  // namespace grid3::health
