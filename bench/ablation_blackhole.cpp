@@ -24,6 +24,9 @@ namespace {
 
 using namespace grid3;
 
+// Fast enough (sub-second) that quick mode runs the full waves: the 5x
+// drop criterion needs the full wave to amortize the fixed detection
+// cost (the breaker's min-sample gate) that every run pays.
 constexpr int kWave1Jobs = 240;        // submitted while the hole is open
 constexpr int kWave2Jobs = 60;         // submitted after the repair
 const Time kJobRuntime = Time::minutes(20);

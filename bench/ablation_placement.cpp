@@ -25,7 +25,8 @@ namespace {
 
 using namespace grid3;
 
-constexpr int kWorkflows = 48;
+const int kWorkflows = bench::quick_or(48, 16);
+const int kHorizonDays = bench::quick_or(4, 2);
 const Bytes kOutput = Bytes::gb(8);
 
 struct Outcome {
@@ -131,7 +132,7 @@ Outcome run_mode(bool leases) {
   for (int i = 0; i < kWorkflows; ++i) {
     sim.schedule_in(Time::minutes(15) * i, [&submit, i] { submit(i); });
   }
-  sim.run_until(sim.now() + Time::days(4));
+  sim.run_until(sim.now() + Time::days(kHorizonDays));
 
   for (const std::string& name : exec_sites) {
     out.no_space += grid.site(name)->gatekeeper().stage_out_no_space();

@@ -7,6 +7,9 @@
 //                    291k-job accounting sample; smaller = faster)
 //   GRID3_CPU_SCALE  scale site sizes (default 1.0 = ~2800 CPUs)
 //   GRID3_SEED       scenario seed (default 20031025)
+//   GRID3_BENCH_QUICK  any non-empty value = CI smoke mode: reduced
+//                    horizons/workload so each ablation finishes in
+//                    seconds while its acceptance verdict stays valid
 #pragma once
 
 #include <cstdlib>
@@ -28,6 +31,18 @@ inline double job_scale() { return env_double("GRID3_JOB_SCALE", 1.0); }
 inline double cpu_scale() { return env_double("GRID3_CPU_SCALE", 1.0); }
 inline std::uint64_t seed() {
   return static_cast<std::uint64_t>(env_double("GRID3_SEED", 20031025));
+}
+
+/// CI smoke mode: reduced horizons, same acceptance semantics.
+inline bool quick() {
+  const char* v = std::getenv("GRID3_BENCH_QUICK");
+  return v != nullptr && *v != '\0';
+}
+
+/// Pick the full-run or quick-run value of a bench knob.
+template <typename T>
+inline T quick_or(T full, T reduced) {
+  return quick() ? reduced : full;
 }
 
 /// A scenario run bundled with its simulation clock.

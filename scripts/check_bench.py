@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Runs the gating ablation benches in quick mode (GRID3_BENCH_QUICK=1),
+collects each binary's ``acceptance:`` verdict line and exit code,
+re-checks the ablation_multise numbers from its ``result-json:`` line
+against the criteria recorded in docs/BENCH.md, and writes a JSON
+artifact summarising the run.  Exits non-zero when any criterion fails,
+so a regression in a BENCH.md acceptance row fails the workflow.
+
+Usage: check_bench.py <build-dir> [--out artifact.json]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+# The ablations whose acceptance criteria gate CI.  Each prints an
+# `acceptance:` verdict and exits 0 only when its criterion holds.
+GATED = [
+    "ablation_broker",
+    "ablation_placement",
+    "ablation_blackhole",
+    "ablation_multise",
+]
+
+
+def run_bench(build_dir: pathlib.Path, name: str) -> dict:
+    binary = build_dir / "bench" / name
+    if not binary.exists():
+        return {"name": name, "ok": False, "error": f"missing binary {binary}"}
+    env = dict(os.environ, GRID3_BENCH_QUICK="1")
+    started = time.monotonic()
+    proc = subprocess.run(
+        [str(binary)], capture_output=True, text=True, env=env, timeout=1800
+    )
+    elapsed = round(time.monotonic() - started, 1)
+    acceptance = [
+        line.strip()
+        for line in proc.stdout.splitlines()
+        if line.startswith("acceptance:")
+    ]
+    result_json = None
+    for line in proc.stdout.splitlines():
+        if line.startswith("result-json:"):
+            result_json = json.loads(line.split(":", 1)[1])
+    entry = {
+        "name": name,
+        "exit_code": proc.returncode,
+        "seconds": elapsed,
+        "acceptance": acceptance,
+        "result": result_json,
+        "ok": proc.returncode == 0 and bool(acceptance),
+    }
+    if proc.returncode != 0:
+        entry["error"] = "acceptance criterion failed (non-zero exit)"
+        entry["tail"] = proc.stdout.splitlines()[-15:]
+    elif not acceptance:
+        entry["ok"] = False
+        entry["error"] = "no acceptance: verdict line in output"
+    return entry
+
+
+def check_multise(entry: dict) -> list[str]:
+    """Re-verify the BENCH.md ablation_multise row from the raw numbers."""
+    problems = []
+    r = entry.get("result")
+    if not r:
+        return ["ablation_multise printed no result-json line"]
+    if r["single_disk_full"] == 0:
+        problems.append("single-SE baseline shows no disk-full failures; "
+                        "the ablation no longer exercises the failure mode")
+    if r["chain_disk_full"] * 5 > r["single_disk_full"]:
+        problems.append(
+            f"disk-full drop below 5x: {r['single_disk_full']} -> "
+            f"{r['chain_disk_full']}")
+    if r["chain_completed"] < r["single_completed"]:
+        problems.append(
+            f"chained completions regressed: {r['chain_completed']} < "
+            f"{r['single_completed']}")
+    if r["fallthroughs"] <= 0 or r["acdc_hops"] <= 0:
+        problems.append("fallthrough hops not visible on bus/ACDC")
+    return problems
+
+
+def check_bench_md(repo_root: pathlib.Path) -> list[str]:
+    """Every gated bench must stay catalogued in docs/BENCH.md."""
+    bench_md = repo_root / "docs" / "BENCH.md"
+    if not bench_md.exists():
+        return [f"missing {bench_md}"]
+    text = bench_md.read_text(encoding="utf-8")
+    return [
+        f"`{name}` missing from docs/BENCH.md" for name in GATED
+        if f"`{name}`" not in text
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir", type=pathlib.Path)
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write a JSON artifact here")
+    args = parser.parse_args()
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+
+    problems = check_bench_md(repo_root)
+    entries = []
+    for name in GATED:
+        entry = run_bench(args.build_dir, name)
+        entries.append(entry)
+        status = "PASS" if entry["ok"] else "FAIL"
+        print(f"[{status}] {name} "
+              f"({entry.get('seconds', '?')}s, exit {entry.get('exit_code')})")
+        for line in entry.get("acceptance", []):
+            print(f"    {line}")
+        if not entry["ok"]:
+            problems.append(f"{name}: {entry.get('error', 'failed')}")
+        if name == "ablation_multise" and entry["ok"]:
+            problems.extend(check_multise(entry))
+
+    artifact = {"quick_mode": True, "benches": entries, "problems": problems}
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(artifact, indent=2) + "\n",
+                            encoding="utf-8")
+        print(f"artifact written to {args.out}")
+
+    if problems:
+        print("\nbench gate FAILED:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nbench gate passed: every BENCH.md acceptance criterion holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

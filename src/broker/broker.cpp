@@ -165,7 +165,14 @@ double ResourceBroker::effective_score(const JobSpec& spec,
   }
   // Placement-aware ranking only with a ledger attached, so the
   // ledger-free broker keeps its established match log byte-for-byte.
-  if (ledger_ != nullptr) score *= storage_headroom(spec, site);
+  // The archive chain's headroom is site-independent (it scores the
+  // stage-out destination, not the execution site), so it scales every
+  // candidate equally: argmax order and weighted-draw proportions are
+  // untouched, but the logged score reflects how starved the job's
+  // archive options are.
+  if (ledger_ != nullptr) {
+    score *= storage_headroom(spec, site) * chain_headroom(spec);
+  }
   // Data affinity: the site already holding this job's input data
   // (typically a sibling's intermediate product) is boosted so the
   // consumer chases its data instead of pricing a WAN transfer.  The
@@ -175,6 +182,27 @@ double ResourceBroker::effective_score(const JobSpec& spec,
     score *= cfg_.source_affinity;
   }
   return score;
+}
+
+double ResourceBroker::chain_headroom(const JobSpec& spec) const {
+  if (spec.stage_out_site.empty() || spec.stage_out == Bytes::zero()) {
+    return 1.0;
+  }
+  const double need_gb = spec.stage_out.to_gb();
+  double best = -1.0;
+  auto consider = [&](const std::string& se) {
+    if (health_ != nullptr && health_->quarantined(se)) return;
+    for (const SiteView& v : view_) {
+      if (v.site == se) {
+        best = std::max(best, storage_headroom_for(need_gb, v));
+        return;
+      }
+    }
+  };
+  consider(spec.stage_out_site);
+  for (const std::string& se : spec.stage_out_fallbacks) consider(se);
+  // No chain SE in the view (archive outside the GIIS): neutral.
+  return best < 0.0 ? 1.0 : best;
 }
 
 const SiteView* ResourceBroker::rank_and_pick(
@@ -463,12 +491,25 @@ std::vector<const SiteView*> ResourceBroker::admissible(const Pending& p,
       if (meets_requirements(p.spec, v)) consider(v);
     }
   } else {
+    const auto listed = [](const std::vector<std::string>& list,
+                           const std::string& site) {
+      return std::find(list.begin(), list.end(), site) != list.end();
+    };
     std::size_t found = 0;
     for (const SiteView& v : view_) {
-      if (std::find(p.spec.candidates.begin(), p.spec.candidates.end(),
-                    v.site) != p.spec.candidates.end()) {
+      if (listed(p.spec.candidates, v.site)) {
         ++found;
         consider(v);
+      } else if (listed(p.spec.deferred_candidates, v.site)) {
+        // The planner parked this site because it was quarantined at
+        // plan time.  Re-admission is deterministic: the first match
+        // attempt after the breaker closes sees it as a full candidate
+        // again; until then it only keeps the job deferring.
+        if (health_ != nullptr && health_->quarantined(v.site)) {
+          *any_deferred = true;
+        } else {
+          consider(v);
+        }
       }
     }
     // Candidates missing from the view (GRIS outage past TTL) may return;
@@ -634,6 +675,9 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
     BrokeredResult out;
     out.gram = r;
     out.site = p->bound_site;
+    // Where the lease (and hence the archived output) actually landed:
+    // RLS registration must follow this, not the spec's primary SE.
+    if (r.ok()) out.archive_site = p->resolved_se;
     out.rebinds = p->rebinds;
     out.holds = p->holds;
     out.matched = true;
@@ -689,7 +733,14 @@ void ResourceBroker::report_health(const Pending& p,
       health_->report(site, health::Service::kTransfer, false, now);
       break;
     case gram::GramStatus::kDiskFull:
-      health_->report(site, health::Service::kStorage, false, now);
+      // The full disk is the archive SE's, not the execution site's:
+      // attribute the failure to the SE the stage-out actually targeted
+      // (the resolved chain SE, or the primary when unleased).
+      health_->report(!p.resolved_se.empty() ? p.resolved_se
+                      : !p.spec.stage_out_site.empty()
+                          ? p.spec.stage_out_site
+                          : site,
+                      health::Service::kStorage, false, now);
       break;
     case gram::GramStatus::kEnvironmentError:
       // The black-hole signature: the site accepts the job, then the
@@ -797,33 +848,56 @@ void ResourceBroker::leave_gang(Pending& p) {
 bool ResourceBroker::ensure_lease(Pending& p, Time now) {
   p.job.stage_out_srm = nullptr;
   p.job.stage_out_reservation = 0;
+  p.resolved_se.clear();
   if (ledger_ == nullptr || !cfg_.placement_leases) return true;
   if (p.spec.stage_out_site.empty() || p.spec.stage_out == Bytes::zero()) {
     return true;  // no placement intent
   }
-  const auto res = ledger_->acquire(p.spec.stage_out_site, p.spec.stage_out,
-                                    p.spec.app, p.spec.output_lfns, now);
+  // The placement intent is a failover chain: primary SE first, then
+  // the plan-time fallbacks in preference order.  The ledger resolves
+  // it to the first SE with room.
+  std::vector<std::string> chain;
+  chain.reserve(1 + p.spec.stage_out_fallbacks.size());
+  chain.push_back(p.spec.stage_out_site);
+  for (const std::string& se : p.spec.stage_out_fallbacks) {
+    chain.push_back(se);
+  }
+  const auto res =
+      ledger_->acquire(chain, p.spec.stage_out, p.spec.app,
+                       p.spec.output_lfns, now);
+  // SRM refusals are the storage-service health signal -- attributed to
+  // the SEs that actually refused, which on a fallthrough is not the SE
+  // that ended up holding the lease.
+  if (health_ != nullptr) {
+    for (const std::string& se : res.refused_sites) {
+      health_->report(se, health::Service::kStorage, false, now);
+    }
+  }
   switch (res.status) {
     case placement::AcquireStatus::kNoStorage:
       return true;  // unmanaged archive: proceed unleased (status quo)
     case placement::AcquireStatus::kDiskFull:
-      // SRM refusals are the storage-service health signal.
-      if (health_ != nullptr) {
-        health_->report(p.spec.stage_out_site, health::Service::kStorage,
-                        false, now);
-      }
       return false;
     case placement::AcquireStatus::kLeased:
       if (health_ != nullptr) {
-        health_->report(p.spec.stage_out_site, health::Service::kStorage,
-                        true, now);
+        health_->report(res.site, health::Service::kStorage, true, now);
       }
       break;
   }
   p.lease = res.lease;
+  p.resolved_se = res.site;
   p.job.stage_out_srm = ledger_->srm_for(res.lease);
   if (const placement::StageOutLease* l = ledger_->find(res.lease)) {
     p.job.stage_out_reservation = l->reservation;
+  }
+  // Repoint the stage-out endpoints at the SE the chain resolved to:
+  // the gatekeeper archives wherever the lease lives, so a fallthrough
+  // needs no downstream special-casing.
+  if (gridftp::GridFtpServer* ftp = ledger_->ftp_for(res.lease)) {
+    p.job.stage_out_dest = ftp;
+  }
+  if (srm::DiskVolume* vol = ledger_->volume_for(res.lease)) {
+    p.job.stage_out_volume = vol;
   }
   return true;
 }

@@ -164,6 +164,11 @@ struct MatchDecision {
 struct BrokeredResult {
   gram::GramResult gram;
   std::string site;   ///< final execution site (empty when never matched)
+  /// SE the stage-out lease resolved to (empty when the job ran
+  /// unleased).  Differs from the spec's stage_out_site when the
+  /// placement chain fell through -- RLS registration must follow this
+  /// site, because that is where the bytes landed.
+  std::string archive_site;
   int rebinds = 0;
   int holds = 0;
   bool matched = false;  ///< false = no eligible site existed
@@ -314,6 +319,9 @@ class ResourceBroker {
     std::string bound_site;
     gram::GramResult last;  ///< last transient failure, for exhaustion
     placement::LeaseId lease = 0;  ///< active stage-out lease (0 = none)
+    /// SE the active lease resolved to (chain head unless the ledger
+    /// fell through); empty when unleased.
+    std::string resolved_se;
     /// The last defer was a full destination SE, not gatekeeper
     /// saturation: max-hold expiry then reports kDiskFull.
     bool storage_blocked = false;
@@ -360,6 +368,13 @@ class ResourceBroker {
   /// source-site data affinity.
   [[nodiscard]] double effective_score(const JobSpec& spec,
                                        const SiteView& site, Time now) const;
+  /// Stage-out headroom of the spec's archive failover chain: the best
+  /// drain-credited score among admissible (non-quarantined) chain SEs
+  /// present in the view.  Constant across execution-site candidates,
+  /// so it scales the whole rank surface (a starved chain holds the
+  /// job) without reordering sites.  1.0 when the spec archives
+  /// nothing or no chain SE is in the view.
+  [[nodiscard]] double chain_headroom(const JobSpec& spec) const;
   /// Members the site can take right now: free slots net of in-flight,
   /// throttle headroom, and load-ceiling headroom in burst units.
   [[nodiscard]] int gang_capacity(const SiteView& site) const;

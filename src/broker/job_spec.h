@@ -48,9 +48,20 @@ struct JobSpec {
   std::string stage_out_site;
   Bytes stage_out;
   std::vector<std::string> output_lfns;
+  /// Ordered archive failover chain behind `stage_out_site`: when the
+  /// primary SE refuses the stage-out lease (full, quarantined, or
+  /// unreachable), the placement ledger falls through these in order
+  /// and the job archives to whichever SE actually granted space.
+  std::vector<std::string> stage_out_fallbacks;
   /// Plan-time eligible sites.  Non-empty = the broker late-binds within
   /// this set; empty = the broker computes eligibility from its own view.
   std::vector<std::string> candidates;
+  /// Sites that were eligible at plan time but quarantined by the site
+  /// health monitor when the plan was derived.  The broker re-admits
+  /// one into `candidates` the moment its quarantine lifts (checked
+  /// deterministically on every match attempt), so a plan made during
+  /// an incident heals itself without a rescue DAG.
+  std::vector<std::string> deferred_candidates;
   /// Where this job's staged input currently sits (the site holding the
   /// producing sibling's output, or the replica chosen at plan time).
   /// The broker boosts this site when ranking so consumers chase their

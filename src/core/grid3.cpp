@@ -107,6 +107,13 @@ broker::ResourceBroker& Grid3::attach_broker(const std::string& vo_name,
   if (cfg.placement_leases) {
     svc.placement = std::make_unique<placement::PlacementLedger>(
         vo_name, *this, &igoc_.bus(), &igoc_.job_db());
+    // Chain acquires skip quarantined SEs (one fallthrough hop each).
+    // The filter dereferences the monitor at call time, so it is safe
+    // to wire before attach_health and picks the monitor up when it
+    // arrives.
+    svc.placement->set_admissibility([this](const std::string& site) {
+      return health_ == nullptr || !health_->quarantined(site);
+    });
     svc.broker->set_placement(svc.placement.get());
   } else {
     svc.placement.reset();

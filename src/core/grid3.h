@@ -137,6 +137,8 @@ class Grid3 final : public workflow::SiteServices,
   // --- workflow::SiteServices + broker::GatekeeperDirectory -------------
   /// One override serves both bases (identical signatures).
   [[nodiscard]] gram::Gatekeeper* gatekeeper(const std::string& site) override;
+  /// Serves both workflow::SiteServices and placement::StorageDirectory
+  /// (the ledger resolves failover-chain SEs to stage-out endpoints).
   [[nodiscard]] gridftp::GridFtpServer* ftp(const std::string& site) override;
   /// Serves both workflow::SiteServices and placement::StorageDirectory.
   [[nodiscard]] srm::DiskVolume* volume(const std::string& site) override;

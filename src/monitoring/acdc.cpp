@@ -31,6 +31,17 @@ std::map<std::string, std::size_t> JobDatabase::lease_events(
   return out;
 }
 
+std::size_t JobDatabase::lease_fallthrough_hops(Time from, Time to,
+                                                const std::string& vo) const {
+  std::size_t hops = 0;
+  for (const LeaseRecord& l : leases_) {
+    if (l.at < from || l.at >= to) continue;
+    if (!vo.empty() && l.vo != vo) continue;
+    if (l.event == "acquire") hops += static_cast<std::size_t>(l.hop);
+  }
+  return hops;
+}
+
 void JobDatabase::insert_gang(GangRecord gang) {
   gangs_.push_back(std::move(gang));
 }

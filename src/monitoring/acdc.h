@@ -68,6 +68,10 @@ struct LeaseRecord {
   std::string event;  ///< "acquire" | "consume" | "release" | "reject"
   Bytes size;
   std::string completion_site;  ///< set on "consume"
+  /// Failover-chain hops taken before `dest_site` accepted (0 = the
+  /// primary SE took the lease; on "reject", hops burned before the
+  /// whole chain refused).
+  int hop = 0;
 };
 
 /// One gang-matching decision, mirrored from the broker: a whole DAG
@@ -159,6 +163,12 @@ class JobDatabase {
   /// Lease lifecycle counts by event over a window (empty vo = all VOs):
   /// the placement layer's acquire/consume/release/reject balance.
   [[nodiscard]] std::map<std::string, std::size_t> lease_events(
+      Time from, Time to, const std::string& vo = {}) const;
+
+  /// Total failover-chain hops across "acquire" lease events in the
+  /// window (empty vo = all VOs): how often placement had to route
+  /// around a full/quarantined/unreachable SE to land a lease.
+  [[nodiscard]] std::size_t lease_fallthrough_hops(
       Time from, Time to, const std::string& vo = {}) const;
 
   /// Gang-matching balance over a window (empty vo = all VOs): how many

@@ -97,6 +97,13 @@ class MdViewer {
       Time from, Time to, const std::string& vo = {}) const {
     return jobs_.lease_events(from, to, vo);
   }
+  /// Failover-chain hops summed over acquired leases in the window,
+  /// from the ACDC mirror (see also the `placement.fallthroughs` bus
+  /// counter via broker_counter).
+  [[nodiscard]] std::size_t lease_fallthrough_hops(
+      Time from, Time to, const std::string& vo = {}) const {
+    return jobs_.lease_fallthrough_hops(from, to, vo);
+  }
   /// Gang-matching balance from the ACDC mirror: levels placed whole,
   /// split, or left unplaced over a window.
   [[nodiscard]] JobDatabase::GangSummary gang_events(

@@ -20,7 +20,7 @@ void PlacementLedger::record(const StageOutLease& lease, const char* event,
   if (accounting_ != nullptr) {
     accounting_->insert_lease({lease.id, now, vo_, lease.app,
                                lease.dest_site, event, lease.size,
-                               lease.completion_site});
+                               lease.completion_site, lease.hops});
   }
 }
 
@@ -28,46 +28,102 @@ AcquireResult PlacementLedger::acquire(const std::string& dest_site,
                                        Bytes size, const std::string& app,
                                        const std::vector<std::string>& lfns,
                                        Time now) {
-  StageOutLease lease;
-  lease.vo = vo_;
-  lease.app = app;
-  lease.dest_site = dest_site;
-  lease.size = size;
-  lease.lfns = lfns;
-  lease.acquired = now;
+  return acquire(std::vector<std::string>{dest_site}, size, app, lfns, now);
+}
 
-  srm::StorageResourceManager* srm = storage_.storage(dest_site);
-  if (srm != nullptr) {
-    // Durable: cleanup sweeps must not reclaim the space while the job
-    // is still computing toward its stage-out.
-    const auto rid =
-        srm->reserve(vo_, size, srm::SpaceType::kDurable, now);
-    if (!rid.has_value()) {
-      ++rejected_;
-      record(lease, "reject", now, metric::kLeasesRejected, rejected_);
-      return {AcquireStatus::kDiskFull, 0};
+AcquireResult PlacementLedger::acquire(const std::vector<std::string>& chain,
+                                       Bytes size, const std::string& app,
+                                       const std::vector<std::string>& lfns,
+                                       Time now) {
+  // One verdict per chain entry: lease it, or classify the refusal.  A
+  // "fallthrough hop" is the act of moving past a rejected entry to try
+  // its successor, so a single-SE chain can never hop -- its semantics
+  // are exactly the pre-chain contract.
+  int hops = 0;
+  bool any_refusal = false;  // full or quarantined (vs merely unknown)
+  std::vector<std::string> refused;  // SEs that were actually full
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const std::string& dest_site = chain[i];
+    const bool has_next = i + 1 < chain.size();
+
+    StageOutLease lease;
+    lease.vo = vo_;
+    lease.app = app;
+    lease.dest_site = dest_site;
+    lease.primary_site = chain.front();
+    lease.hops = hops;
+    lease.size = size;
+    lease.lfns = lfns;
+    lease.acquired = now;
+
+    bool refused_here = false;
+    bool known = true;
+    if (admissible_ != nullptr && !admissible_(dest_site)) {
+      // Quarantined (or otherwise vetoed): an active refusal, same as a
+      // full SE -- the next chain entry gets its chance.
+      refused_here = true;
+    } else if (srm::StorageResourceManager* srm = storage_.storage(dest_site);
+               srm != nullptr) {
+      // Durable: cleanup sweeps must not reclaim the space while the
+      // job is still computing toward its stage-out.
+      const auto rid = srm->reserve(vo_, size, srm::SpaceType::kDurable, now);
+      if (rid.has_value()) {
+        lease.reservation = *rid;
+      } else {
+        refused_here = true;
+        refused.push_back(dest_site);
+      }
+    } else if (srm::DiskVolume* vol = storage_.volume(dest_site);
+               vol != nullptr) {
+      // Probe mode: no SRM to hold the space, but a destination that is
+      // already too full to take the output is rejected now, not after
+      // the job has burned its compute cycles.
+      if (vol->free() < size) {
+        refused_here = true;
+        refused.push_back(dest_site);
+      }
+    } else {
+      known = false;  // unreachable/unknown SE: fall through, no refusal
     }
-    lease.reservation = *rid;
-  } else if (srm::DiskVolume* vol = storage_.volume(dest_site);
-             vol != nullptr) {
-    // Probe mode: no SRM to hold the space, but a destination that is
-    // already too full to take the output is rejected now, not after
-    // the job has burned its compute cycles.
-    if (vol->free() < size) {
-      ++rejected_;
-      record(lease, "reject", now, metric::kLeasesRejected, rejected_);
-      return {AcquireStatus::kDiskFull, 0};
+
+    if (known && !refused_here) {
+      lease.id = next_id_++;
+      ++acquired_;
+      record(lease, "acquire", now, metric::kLeasesAcquired, acquired_);
+      const LeaseId id = lease.id;
+      leases_.emplace(id, std::move(lease));
+      return {AcquireStatus::kLeased, id, dest_site, hops,
+              std::move(refused)};
     }
-  } else {
-    return {AcquireStatus::kNoStorage, 0};
+    any_refusal = any_refusal || refused_here;
+    if (has_next) {
+      ++hops;
+      ++fallthroughs_;
+      if (bus_ != nullptr) {
+        bus_->publish(vo_, metric::kLeaseFallthroughs, now,
+                      static_cast<double>(fallthroughs_));
+      }
+    }
   }
 
-  lease.id = next_id_++;
-  ++acquired_;
-  record(lease, "acquire", now, metric::kLeasesAcquired, acquired_);
-  const LeaseId id = lease.id;
-  leases_.emplace(id, std::move(lease));
-  return {AcquireStatus::kLeased, id};
+  if (any_refusal) {
+    // The whole chain actively refused: surface kDiskFull so the match
+    // becomes a hold, not a doomed binding.
+    StageOutLease lease;
+    lease.vo = vo_;
+    lease.app = app;
+    lease.dest_site = chain.empty() ? std::string{} : chain.front();
+    lease.primary_site = lease.dest_site;
+    lease.hops = hops;
+    lease.size = size;
+    lease.acquired = now;
+    ++rejected_;
+    record(lease, "reject", now, metric::kLeasesRejected, rejected_);
+    return {AcquireStatus::kDiskFull, 0, {}, hops, std::move(refused)};
+  }
+  // Every entry was unknown to the directory: no managed storage
+  // anywhere on the chain, proceed unleased.
+  return {AcquireStatus::kNoStorage, 0, {}, hops, std::move(refused)};
 }
 
 bool PlacementLedger::release(LeaseId id, Time now) {
@@ -119,6 +175,16 @@ srm::StorageResourceManager* PlacementLedger::srm_for(LeaseId id) {
   const StageOutLease* lease = find(id);
   if (lease == nullptr || lease->reservation == 0) return nullptr;
   return storage_.storage(lease->dest_site);
+}
+
+gridftp::GridFtpServer* PlacementLedger::ftp_for(LeaseId id) {
+  const StageOutLease* lease = find(id);
+  return lease == nullptr ? nullptr : storage_.ftp(lease->dest_site);
+}
+
+srm::DiskVolume* PlacementLedger::volume_for(LeaseId id) {
+  const StageOutLease* lease = find(id);
+  return lease == nullptr ? nullptr : storage_.volume(lease->dest_site);
 }
 
 std::size_t PlacementLedger::active() const { return leases_.size(); }

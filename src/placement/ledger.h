@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -39,6 +40,10 @@
 #include "srm/disk.h"
 #include "srm/srm.h"
 #include "util/units.h"
+
+namespace grid3::gridftp {
+class GridFtpServer;
+}  // namespace grid3::gridftp
 
 namespace grid3::monitoring {
 class MetricBus;
@@ -58,6 +63,12 @@ class StorageDirectory {
       const std::string& site) = 0;
   /// The site's disk volume, or null when the site is unknown.
   [[nodiscard]] virtual srm::DiskVolume* volume(const std::string& site) = 0;
+  /// The site's GridFTP endpoint, or null when the site is unknown.
+  /// Lets the broker repoint a job's stage-out at whichever SE of a
+  /// failover chain the lease actually resolved to.  core::Grid3 serves
+  /// this with the same override as workflow::SiteServices::ftp.
+  [[nodiscard]] virtual gridftp::GridFtpServer* ftp(
+      const std::string& site) = 0;
 };
 
 using LeaseId = std::uint64_t;
@@ -81,7 +92,16 @@ struct StageOutLease {
   LeaseId id = 0;
   std::string vo;
   std::string app;
+  /// SE the lease actually resolved to (the chain's first admissible SE
+  /// with room).  All space accounting -- consume, release, srm_for --
+  /// follows this site, never the primary.
   std::string dest_site;
+  /// Head of the preference chain the acquire was asked for.  Equal to
+  /// `dest_site` unless the acquisition fell through.
+  std::string primary_site;
+  /// Fallthrough hops taken before `dest_site` accepted: 0 = the primary
+  /// took it, n = n chain entries were full, quarantined, or unreachable.
+  int hops = 0;
   Bytes size;
   /// SRM reservation backing the lease; 0 = probe mode (the destination
   /// has no SRM, so the ledger could only verify free space at acquire
@@ -103,6 +123,17 @@ enum class AcquireStatus {
 struct AcquireResult {
   AcquireStatus status = AcquireStatus::kNoStorage;
   LeaseId lease = 0;
+  /// SE the lease resolved to (empty unless kLeased).  Differs from the
+  /// chain head when the acquisition fell through.
+  std::string site;
+  /// Chain entries rejected (full, quarantined, or unreachable) before
+  /// one accepted -- or before the chain ran dry.
+  int hops = 0;
+  /// Chain SEs that *actively* refused the space (SRM denied or probe
+  /// found the volume full) -- the caller's storage-health signal.
+  /// Quarantine-vetoed and unknown entries are not listed: the former
+  /// are already condemned, the latter said nothing about storage.
+  std::vector<std::string> refused_sites;
   [[nodiscard]] bool leased() const {
     return status == AcquireStatus::kLeased;
   }
@@ -115,6 +146,8 @@ inline constexpr const char* kLeasesAcquired = "placement.leases_acquired";
 inline constexpr const char* kLeasesConsumed = "placement.leases_consumed";
 inline constexpr const char* kLeasesReleased = "placement.leases_released";
 inline constexpr const char* kLeasesRejected = "placement.leases_rejected";
+/// Chain entries skipped during acquisition (full/quarantined/unknown).
+inline constexpr const char* kLeaseFallthroughs = "placement.fallthroughs";
 }  // namespace metric
 
 class PlacementLedger {
@@ -133,6 +166,36 @@ class PlacementLedger {
                                       Bytes size, const std::string& app,
                                       const std::vector<std::string>& lfns,
                                       Time now);
+
+  /// Failover-chain acquire: walk `chain` in preference order and lease
+  /// the first SE that is admissible (not filtered out) and has room.
+  /// Every rejected entry -- reservation denied, probe found the volume
+  /// full, site quarantined by the admissibility filter, or site
+  /// unknown to the directory -- is one fallthrough hop, published as
+  /// `placement.fallthroughs` and recorded in the lease.  When the
+  /// whole chain rejects: kDiskFull if at least one SE actively refused
+  /// (full or quarantined), kNoStorage when every entry was unknown to
+  /// the directory (matching the single-SE contract: no managed storage
+  /// anywhere means proceed unleased).
+  [[nodiscard]] AcquireResult acquire(const std::vector<std::string>& chain,
+                                      Bytes size, const std::string& app,
+                                      const std::vector<std::string>& lfns,
+                                      Time now);
+
+  /// Admissibility veto consulted per chain entry during acquisition.
+  /// core::Grid3 wires this to `!SiteHealthMonitor::quarantined(site)`
+  /// so quarantined SEs are skipped (one hop) without the placement
+  /// layer depending on grid3::health.  Null = everything admissible.
+  using SiteFilter = std::function<bool(const std::string&)>;
+  void set_admissibility(SiteFilter filter) {
+    admissible_ = std::move(filter);
+  }
+
+  /// The resolved SE's GridFTP endpoint / disk volume for an active
+  /// lease (null when the lease is unknown).  The broker uses these to
+  /// repoint a job's stage-out when the lease fell through.
+  [[nodiscard]] gridftp::GridFtpServer* ftp_for(LeaseId id);
+  [[nodiscard]] srm::DiskVolume* volume_for(LeaseId id);
 
   /// Give the space back (job failed, was held too long, or entered a
   /// rescue DAG).  Idempotent; false when the lease is unknown.
@@ -159,6 +222,8 @@ class PlacementLedger {
   [[nodiscard]] std::uint64_t released() const { return released_; }
   /// Match-time rejections: the disk-full failures that never happened.
   [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  /// Chain entries skipped on the way to a resolved (or rejected) SE.
+  [[nodiscard]] std::uint64_t fallthroughs() const { return fallthroughs_; }
 
  private:
   void record(const StageOutLease& lease, const char* event, Time now,
@@ -168,12 +233,14 @@ class PlacementLedger {
   StorageDirectory& storage_;
   monitoring::MetricBus* bus_;
   monitoring::JobDatabase* accounting_;
+  SiteFilter admissible_;
   LeaseId next_id_ = 1;
   std::map<LeaseId, StageOutLease> leases_;  ///< active only
   std::uint64_t acquired_ = 0;
   std::uint64_t consumed_ = 0;
   std::uint64_t released_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t fallthroughs_ = 0;
 };
 
 }  // namespace grid3::placement

@@ -1,7 +1,10 @@
 #include "workflow/dagman.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <map>
+#include <set>
 
 #include "broker/broker.h"
 #include "health/health.h"
@@ -107,13 +110,57 @@ ConcreteDag DagMan::rescue_dag_refreshed(const ConcreteDag& dag,
                                          Time now) const {
   ConcreteDag rescue = rescue_dag(dag, stats);
   if (broker_ == nullptr) return rescue;
+  // Sites the live GIIS view still advertises, for pruning dead SEs out
+  // of the archive chains alongside the candidate refresh.
+  std::set<std::string> live;
+  for (const broker::SiteView& v : broker_->view(now)) live.insert(v.site);
+  const health::SiteHealthMonitor* health = broker_->health();
+  const auto se_alive = [&](const std::string& se) {
+    return live.count(se) != 0 &&
+           (health == nullptr || !health->quarantined(se));
+  };
   for (ConcreteNode& node : rescue.nodes) {
     if (!node.broker_spec.has_value()) continue;
+    broker::JobSpec& spec = *node.broker_spec;
     // Re-derive the eligible set from the broker's live view instead of
-    // resubmitting against the plan-time snapshot.
-    broker::JobSpec probe = *node.broker_spec;
+    // resubmitting against the plan-time snapshot -- quarantined sites
+    // park in deferred_candidates exactly as at plan time.
+    broker::JobSpec probe = spec;
     probe.candidates.clear();
-    node.broker_spec->candidates = broker_->eligible(probe, now);
+    std::vector<std::string> eligible = broker_->eligible(probe, now);
+    spec.candidates.clear();
+    spec.deferred_candidates.clear();
+    for (std::string& site : eligible) {
+      if (health == nullptr || !health->quarantined(site)) {
+        spec.candidates.push_back(std::move(site));
+      } else {
+        spec.deferred_candidates.push_back(std::move(site));
+      }
+    }
+    if (spec.candidates.empty()) {
+      // Everything quarantined: keep the full set and let the broker's
+      // defer-not-disqualify hold wait out the outage (see planner).
+      spec.candidates = std::move(spec.deferred_candidates);
+      spec.deferred_candidates.clear();
+    }
+    // Refresh the SE preference chain too: a rescue that keeps a dead
+    // or quarantined SE at the head would spend its first acquire hop
+    // rediscovering what the view already knows.  Live SEs keep their
+    // relative order at the head; dead ones sink to the tail (kept, in
+    // case they return before this lease is ever acquired).
+    if (!spec.stage_out_site.empty()) {
+      std::vector<std::string> chain;
+      chain.reserve(1 + spec.stage_out_fallbacks.size());
+      chain.push_back(std::move(spec.stage_out_site));
+      for (std::string& se : spec.stage_out_fallbacks) {
+        chain.push_back(std::move(se));
+      }
+      std::stable_partition(chain.begin(), chain.end(), se_alive);
+      spec.stage_out_site = std::move(chain.front());
+      spec.stage_out_fallbacks.assign(
+          std::make_move_iterator(chain.begin() + 1),
+          std::make_move_iterator(chain.end()));
+    }
   }
   return rescue;
 }
@@ -267,19 +314,22 @@ void DagMan::brokered_done(const std::shared_ptr<Run>& run, std::size_t idx,
       }
     }
     // Execute the registration intent: the gatekeeper just archived the
-    // outputs at the intent SE (inside the lease when one was held).
+    // outputs at whichever SE the placement chain resolved to (the
+    // broker reports it as archive_site when a lease was held), so the
+    // replica entries must name that SE, not the plan's primary.
     const broker::JobSpec& spec = *executed.broker_spec;
-    if (rls_ != nullptr && !spec.stage_out_site.empty() &&
+    const std::string& archive_se =
+        br.archive_site.empty() ? spec.stage_out_site : br.archive_site;
+    if (rls_ != nullptr && !archive_se.empty() &&
         spec.stage_out > Bytes::zero() && !spec.output_lfns.empty() &&
-        services_.ftp(spec.stage_out_site) != nullptr) {
+        services_.ftp(archive_se) != nullptr) {
       const Bytes per_file =
           Bytes::of(spec.stage_out.count() /
                     static_cast<std::int64_t>(spec.output_lfns.size()));
       for (const std::string& lfn : spec.output_lfns) {
         rls_->register_replica(
-            spec.stage_out_site, lfn,
-            {"gsiftp://" + spec.stage_out_site + "/" + lfn, per_file,
-             sim_.now()},
+            archive_se, lfn,
+            {"gsiftp://" + archive_se + "/" + lfn, per_file, sim_.now()},
             sim_.now());
       }
     }

@@ -4,9 +4,31 @@
 #include <set>
 
 #include "broker/broker.h"
+#include "health/health.h"
 #include "mds/schema.h"
 
 namespace grid3::workflow {
+
+bool PegasusPlanner::site_admissible(const std::string& site) const {
+  return health_ == nullptr || !health_->quarantined(site);
+}
+
+std::vector<std::string> PegasusPlanner::archive_chain(
+    const PlannerConfig& cfg) const {
+  std::vector<std::string> chain;
+  chain.reserve(1 + cfg.archive_fallbacks.size());
+  chain.push_back(cfg.archive_site);
+  for (const std::string& se : cfg.archive_fallbacks) chain.push_back(se);
+  // Demote quarantined SEs to the tail instead of dropping them: the
+  // ledger still reaches them if every healthy SE is full, and a
+  // quarantine that lifts before launch needs no re-plan.  The stable
+  // partition keeps the derivation deterministic.
+  std::stable_partition(chain.begin(), chain.end(),
+                        [this](const std::string& se) {
+                          return site_admissible(se);
+                        });
+  return chain;
+}
 
 std::vector<std::string> PegasusPlanner::eligible_sites(
     const std::string& required_app, Time max_runtime,
@@ -159,6 +181,26 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       return std::nullopt;
     }
 
+    // Health-aware planning: quarantined sites leave the candidate set
+    // at plan time, so fixed-site nodes stop burning DAGMan retries on
+    // condemned sites.  Brokered nodes keep them as deferred
+    // candidates (re-admitted at match time when the breaker closes).
+    // When *every* eligible site is quarantined, keep the full set:
+    // the broker's defer-not-disqualify hold is strictly better than
+    // failing the plan outright.
+    std::vector<std::string> quarantined_now;
+    if (health_ != nullptr) {
+      std::vector<std::string> healthy;
+      for (const std::string& s : candidates) {
+        (site_admissible(s) ? healthy : quarantined_now).push_back(s);
+      }
+      if (!healthy.empty()) {
+        candidates = std::move(healthy);
+      } else {
+        quarantined_now.clear();
+      }
+    }
+
     std::string site;
     std::optional<broker::JobSpec> spec;
     if (broker_ != nullptr) {
@@ -178,6 +220,7 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       s.rls = &rls_;
       s.scratch = job.scratch;
       s.candidates = candidates;
+      s.deferred_candidates = quarantined_now;
       site = broker_->choose(s, now).value_or(candidates.front());
       spec = std::move(s);
     } else {
@@ -288,7 +331,12 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
     }
   }
 
-  // Stage-out + register for final (or all) outputs.
+  // Stage-out + register for final (or all) outputs.  The archive
+  // target is a failover chain ([archive_site] + archive_fallbacks),
+  // reordered healthy-first when a health monitor is attached.
+  const std::vector<std::string> chain =
+      cfg.archive_site.empty() ? std::vector<std::string>{}
+                               : archive_chain(cfg);
   for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
     if (compute_index[i] == kPruned) continue;
     const AbstractJob& job = dag.jobs[i];
@@ -311,15 +359,18 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
       // gatekeeper's stage-out lands inside the lease, and DAGMan
       // registers the outputs in RLS on success.
       broker::JobSpec& bs = *out.nodes[ci].broker_spec;
-      bs.stage_out_site = cfg.archive_site;
+      bs.stage_out_site = chain.front();
+      bs.stage_out_fallbacks.assign(chain.begin() + 1, chain.end());
       bs.stage_out = job.output_size;
       bs.output_lfns = job.outputs;
       continue;
     }
+    // Fixed-site plans cannot fall through at stage-out time, so the
+    // chain's healthy head is the whole decision.
     ConcreteNode so;
     so.type = NodeType::kStageOut;
     so.name = "archive:" + job.derivation_id;
-    so.site = cfg.archive_site;
+    so.site = chain.front();
     so.source_site = out.nodes[ci].site;
     so.bytes = job.output_size;
     so.lfns = job.outputs;
@@ -330,7 +381,7 @@ std::optional<ConcreteDag> PegasusPlanner::plan(const AbstractDag& dag,
     ConcreteNode reg;
     reg.type = NodeType::kRegister;
     reg.name = "register:" + job.derivation_id;
-    reg.site = cfg.archive_site;
+    reg.site = chain.front();
     reg.bytes = job.output_size;
     reg.lfns = job.outputs;
     const std::size_t ri = out.nodes.size();

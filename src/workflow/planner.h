@@ -28,11 +28,21 @@ namespace grid3::broker {
 class ResourceBroker;
 }  // namespace grid3::broker
 
+namespace grid3::health {
+class SiteHealthMonitor;
+}  // namespace grid3::health
+
 namespace grid3::workflow {
 
 struct PlannerConfig {
   std::string vo;
   std::string archive_site;  ///< Tier1 SE for final outputs (BNL, FNAL)
+  /// Ordered archive failover chain behind `archive_site`: when the
+  /// primary refuses the stage-out lease, placement falls through these
+  /// in order (brokered plans thread them into
+  /// JobSpec::stage_out_fallbacks; non-brokered plans archive to the
+  /// first health-admissible chain SE).
+  std::vector<std::string> archive_fallbacks;
   /// Requested walltime = runtime * slack (queue padding).
   double walltime_slack = 1.5;
   int min_free_cpus = 1;
@@ -71,6 +81,24 @@ class PegasusPlanner {
   void set_broker(broker::ResourceBroker* broker) { broker_ = broker; }
   [[nodiscard]] broker::ResourceBroker* broker() const { return broker_; }
 
+  /// Optional site-health monitor (core::Grid3::attach_health wires it).
+  /// With a monitor attached the plan is health-aware: quarantined sites
+  /// drop out of every node's candidate set at plan time (fixed-site
+  /// nodes stop burning DAGMan retries on condemned sites) and the
+  /// archive chain is reordered healthy-first.  Brokered plans keep the
+  /// quarantined sites as JobSpec::deferred_candidates, so a quarantine
+  /// that lifts before launch re-admits them deterministically at match
+  /// time; quarantined archive SEs are demoted to the chain's tail, not
+  /// dropped, for the same reason.  The derivation stays deterministic:
+  /// it depends only on the breaker states at `now`, never on an RNG
+  /// draw.
+  void set_health(const health::SiteHealthMonitor* health) {
+    health_ = health;
+  }
+  [[nodiscard]] const health::SiteHealthMonitor* health() const {
+    return health_;
+  }
+
   /// Sites currently eligible to run a job needing `app`.
   [[nodiscard]] std::vector<std::string> eligible_sites(
       const std::string& required_app, Time max_runtime,
@@ -88,9 +116,17 @@ class PegasusPlanner {
       const std::vector<std::string>& candidates, const PlannerConfig& cfg,
       util::Rng& rng) const;
 
+  /// True when `site` is not quarantined (or no monitor is attached).
+  [[nodiscard]] bool site_admissible(const std::string& site) const;
+  /// The archive chain ([archive_site] + archive_fallbacks) reordered
+  /// healthy-first with relative order preserved in both groups.
+  [[nodiscard]] std::vector<std::string> archive_chain(
+      const PlannerConfig& cfg) const;
+
   const mds::Giis& giis_;
   const rls::ReplicaLocationService& rls_;
   broker::ResourceBroker* broker_ = nullptr;
+  const health::SiteHealthMonitor* health_ = nullptr;
   mutable PlanError last_error_ = PlanError::kEmptyDag;
 };
 

@@ -4,6 +4,8 @@
 // visibility (bus / ACDC / MDViewer / Troubleshooter), and determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,10 @@
 #include "pacman/vdt.h"
 #include "placement/ledger.h"
 #include "sim/simulation.h"
+#include "util/rng.h"
+#include "workflow/dag.h"
+#include "workflow/planner.h"
+#include "workflow/vdc.h"
 
 namespace grid3::health {
 namespace {
@@ -395,6 +401,128 @@ TEST(HealthIntegration, TripReturnsGangLeaseAtQuarantinedPrimary) {
   }
   EXPECT_EQ(ledger->active(), 0u);
   EXPECT_GE(ledger->released(), 1u);
+}
+
+// --- integration: health-aware planning -------------------------------------
+
+/// Three-job workflow planned against the fabric's GIIS + broker, with
+/// the planner consulting the health monitor.
+std::optional<workflow::ConcreteDag> plan_workflow(HealthFabric& f) {
+  workflow::VirtualDataCatalog vdc;
+  vdc.add_transformation({"tf", "1", "app"});
+  std::vector<std::string> targets;
+  for (int i = 0; i < 3; ++i) {
+    workflow::Derivation d;
+    d.id = "job" + std::to_string(i);
+    d.transformation = "tf";
+    d.outputs = {"out" + std::to_string(i)};
+    d.runtime = Time::hours(1);
+    vdc.add_derivation(d);
+    targets.push_back(d.outputs[0]);
+  }
+  const auto dag = vdc.request(targets);
+  workflow::PegasusPlanner planner{f.grid.igoc().top_giis(),
+                                   *f.grid.rls("usatlas")};
+  planner.set_broker(f.grid.broker("usatlas"));
+  planner.set_health(f.grid.health());
+  workflow::PlannerConfig cfg;
+  cfg.vo = "usatlas";
+  util::Rng rng{123};
+  return planner.plan(*dag, cfg, rng, f.sim.now());
+}
+
+/// Canonical byte dump of everything placement-relevant in a plan.
+std::string dump_plan(const workflow::ConcreteDag& dag) {
+  std::string out;
+  for (const auto& n : dag.nodes) {
+    out += n.name + "|" + n.site;
+    if (n.broker_spec.has_value()) {
+      out += "|c:";
+      for (const auto& c : n.broker_spec->candidates) out += c + ",";
+      out += "|d:";
+      for (const auto& c : n.broker_spec->deferred_candidates) out += c + ",";
+      out += "|se:" + n.broker_spec->stage_out_site;
+      for (const auto& c : n.broker_spec->stage_out_fallbacks) {
+        out += "," + c;
+      }
+    }
+    out += "\n";
+  }
+  for (const auto& [a, b] : dag.edges) {
+    out += std::to_string(a) + ">" + std::to_string(b) + "\n";
+  }
+  return out;
+}
+
+TEST(HealthIntegration, PlannerCandidatesExcludeQuarantinedSites) {
+  HealthFabric f;
+  for (int i = 0; i < 6; ++i) {
+    f.grid.health()->report("blackhole", Service::kSubmit, false,
+                            f.sim.now());
+  }
+  ASSERT_TRUE(f.grid.health()->quarantined("blackhole"));
+
+  const auto plan = plan_workflow(f);
+  ASSERT_TRUE(plan.has_value());
+  std::size_t computes = 0;
+  for (const auto& n : plan->nodes) {
+    if (n.type != workflow::NodeType::kCompute) continue;
+    ++computes;
+    // The quarantined site is out of the plan: never the provisional
+    // placement, never a live candidate -- parked as deferred so the
+    // broker can re-admit it if the quarantine lifts before launch.
+    EXPECT_NE(n.site, "blackhole");
+    ASSERT_TRUE(n.broker_spec.has_value());
+    const auto& c = n.broker_spec->candidates;
+    EXPECT_EQ(std::count(c.begin(), c.end(), "blackhole"), 0);
+    EXPECT_FALSE(c.empty());
+    const auto& d = n.broker_spec->deferred_candidates;
+    EXPECT_EQ(std::count(d.begin(), d.end(), "blackhole"), 1);
+  }
+  EXPECT_EQ(computes, 3u);
+}
+
+TEST(HealthIntegration, HealthAwarePlanIsByteIdentical) {
+  HealthFabric f;
+  for (int i = 0; i < 6; ++i) {
+    f.grid.health()->report("blackhole", Service::kSubmit, false,
+                            f.sim.now());
+  }
+  const auto a = plan_workflow(f);
+  const auto b = plan_workflow(f);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  const std::string dump_a = dump_plan(*a);
+  EXPECT_FALSE(dump_a.empty());
+  EXPECT_EQ(dump_a, dump_plan(*b));
+}
+
+TEST(HealthIntegration, DeferredCandidateReadmittedWhenQuarantineLifts) {
+  HealthFabric f;
+  for (int i = 0; i < 6; ++i) {
+    f.grid.health()->report("blackhole", Service::kSubmit, false,
+                            f.sim.now());
+  }
+  ASSERT_TRUE(f.grid.health()->quarantined("blackhole"));
+
+  // A job whose only viable site is the deferred one: "offline" is not
+  // on the grid, so the match must wait for blackhole's re-admission.
+  JobSpec s = f.spec();
+  s.candidates = {"offline"};
+  s.deferred_candidates = {"blackhole"};
+  std::vector<std::string> sites;
+  f.grid.broker("usatlas")->submit(
+      s, f.job(),
+      [&](const broker::BrokeredResult& r) { sites.push_back(r.site); });
+  f.sim.run_until(f.sim.now() + Time::minutes(30));
+  EXPECT_TRUE(sites.empty());  // held while the quarantine stands
+
+  // The site is actually healthy, so probation probes re-certify it
+  // once the base quarantine elapses; the held job then lands there.
+  f.sim.run_until(f.sim.now() + Time::hours(48));
+  EXPECT_EQ(f.grid.health()->state("blackhole"), BreakerState::kClosed);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0], "blackhole");
 }
 
 TEST(HealthIntegration, BreakerEventsAndMatchLogDeterministic) {

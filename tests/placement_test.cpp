@@ -4,6 +4,7 @@
 // invariant that SRM reserved space returns to zero on every path.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "broker/rank_policy.h"
 #include "core/grid3.h"
 #include "core/site.h"
+#include "monitoring/mdviewer.h"
 #include "pacman/vdt.h"
 #include "placement/ledger.h"
 #include "sim/simulation.h"
@@ -33,6 +35,31 @@ class StubDirectory : public StorageDirectory {
     return srm;
   }
   srm::DiskVolume* volume(const std::string&) override { return vol; }
+  gridftp::GridFtpServer* ftp(const std::string&) override {
+    return nullptr;
+  }
+};
+
+/// Multi-site stub for failover-chain unit tests: each site gets its own
+/// volume, optionally fronted by an SRM.
+class ChainDirectory : public StorageDirectory {
+ public:
+  struct Entry {
+    srm::StorageResourceManager* srm = nullptr;
+    srm::DiskVolume* vol = nullptr;
+  };
+  std::map<std::string, Entry> sites;
+  srm::StorageResourceManager* storage(const std::string& s) override {
+    auto it = sites.find(s);
+    return it == sites.end() ? nullptr : it->second.srm;
+  }
+  srm::DiskVolume* volume(const std::string& s) override {
+    auto it = sites.find(s);
+    return it == sites.end() ? nullptr : it->second.vol;
+  }
+  gridftp::GridFtpServer* ftp(const std::string&) override {
+    return nullptr;
+  }
 };
 
 TEST(PlacementLedger, AcquireReservesAndConsumeConvertsToAllocation) {
@@ -132,6 +159,120 @@ TEST(PlacementLedger, UnknownDestinationHasNoStorage) {
   EXPECT_EQ(ledger.rejected(), 0u);
 }
 
+// --- failover chains -------------------------------------------------------
+
+/// Two SRM-fronted SEs for chain tests: PRIMARY small, FALLBACK roomy.
+struct ChainRig {
+  srm::DiskVolume d1{"primary:/data", Bytes::gb(1)};
+  srm::StorageResourceManager s1{"primary", d1};
+  srm::DiskVolume d2{"fallback:/data", Bytes::gb(10)};
+  srm::StorageResourceManager s2{"fallback", d2};
+  ChainDirectory dir;
+  ChainRig() {
+    dir.sites["PRIMARY"] = {&s1, &d1};
+    dir.sites["FALLBACK"] = {&s2, &d2};
+  }
+  [[nodiscard]] std::vector<std::string> chain() const {
+    return {"PRIMARY", "FALLBACK"};
+  }
+};
+
+TEST(PlacementChain, FullPrimaryFallsThroughToSecondSe) {
+  ChainRig rig;
+  PlacementLedger ledger{"uscms", rig.dir};
+  const auto res =
+      ledger.acquire(rig.chain(), Bytes::gb(2), "mop", {"out"}, Time::zero());
+  ASSERT_TRUE(res.leased());
+  EXPECT_EQ(res.site, "FALLBACK");
+  EXPECT_EQ(res.hops, 1);
+  ASSERT_EQ(res.refused_sites.size(), 1u);
+  EXPECT_EQ(res.refused_sites[0], "PRIMARY");
+  EXPECT_EQ(ledger.fallthroughs(), 1u);
+  const StageOutLease* l = ledger.find(res.lease);
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->dest_site, "FALLBACK");
+  EXPECT_EQ(l->primary_site, "PRIMARY");
+  EXPECT_EQ(l->hops, 1);
+  // The reservation lives at the SE that accepted, not the primary.
+  EXPECT_EQ(rig.s1.reserved_total(), Bytes::zero());
+  EXPECT_EQ(rig.s2.reserved_total(), Bytes::gb(2));
+  // Consume converts at the resolved SE.
+  EXPECT_TRUE(ledger.consume(res.lease, "ALPHA", Time::minutes(30)));
+  EXPECT_EQ(rig.s2.reserved_total(), Bytes::zero());
+  EXPECT_EQ(rig.d2.used(), Bytes::gb(2));
+  EXPECT_EQ(rig.d1.used(), Bytes::zero());
+}
+
+TEST(PlacementChain, WholeChainFullRejectsAsDiskFull) {
+  ChainRig rig;
+  PlacementLedger ledger{"uscms", rig.dir};
+  // 20 GB fits neither the 1 GB primary nor the 10 GB fallback.
+  const auto res =
+      ledger.acquire(rig.chain(), Bytes::gb(20), "mop", {}, Time::zero());
+  EXPECT_EQ(res.status, AcquireStatus::kDiskFull);
+  EXPECT_EQ(res.hops, 1);
+  EXPECT_EQ(res.refused_sites.size(), 2u);
+  EXPECT_EQ(ledger.rejected(), 1u);
+  EXPECT_EQ(ledger.active(), 0u);
+  EXPECT_EQ(rig.s1.reserved_total(), Bytes::zero());
+  EXPECT_EQ(rig.s2.reserved_total(), Bytes::zero());
+}
+
+TEST(PlacementChain, QuarantinedPrimarySkippedByAdmissibilityFilter) {
+  ChainRig rig;
+  PlacementLedger ledger{"uscms", rig.dir};
+  ledger.set_admissibility(
+      [](const std::string& site) { return site != "PRIMARY"; });
+  // PRIMARY has room for 0.5 GB, but the filter (the health monitor's
+  // quarantine in production) vetoes it: the lease lands at FALLBACK.
+  const auto res = ledger.acquire(rig.chain(), Bytes::mb(512), "mop", {},
+                                  Time::zero());
+  ASSERT_TRUE(res.leased());
+  EXPECT_EQ(res.site, "FALLBACK");
+  EXPECT_EQ(res.hops, 1);
+  // A quarantine veto is not a storage refusal: no health signal.
+  EXPECT_TRUE(res.refused_sites.empty());
+  EXPECT_EQ(rig.s1.reserved_total(), Bytes::zero());
+  EXPECT_EQ(rig.s2.reserved_total(), Bytes::mb(512));
+}
+
+TEST(PlacementChain, EveryEntryQuarantinedRejects) {
+  ChainRig rig;
+  PlacementLedger ledger{"uscms", rig.dir};
+  ledger.set_admissibility([](const std::string&) { return false; });
+  const auto res =
+      ledger.acquire(rig.chain(), Bytes::mb(1), "mop", {}, Time::zero());
+  EXPECT_EQ(res.status, AcquireStatus::kDiskFull);
+  EXPECT_EQ(ledger.rejected(), 1u);
+}
+
+TEST(PlacementChain, AllUnknownChainStaysNoStorage) {
+  StubDirectory dir;  // knows no sites at all
+  PlacementLedger ledger{"ivdgl", dir};
+  const auto res = ledger.acquire(std::vector<std::string>{"A", "B"},
+                                  Bytes::gb(1), "ex", {}, Time::zero());
+  EXPECT_EQ(res.status, AcquireStatus::kNoStorage);
+  EXPECT_EQ(ledger.rejected(), 0u);
+}
+
+TEST(PlacementChain, ReleaseExactlyOnceOnFallthroughLease) {
+  ChainRig rig;
+  PlacementLedger ledger{"uscms", rig.dir};
+  const auto res =
+      ledger.acquire(rig.chain(), Bytes::gb(2), "mop", {}, Time::zero());
+  ASSERT_TRUE(res.leased());
+  ASSERT_EQ(res.site, "FALLBACK");
+  EXPECT_TRUE(ledger.release(res.lease, Time::minutes(5)));
+  EXPECT_EQ(rig.s2.reserved_total(), Bytes::zero());
+  EXPECT_EQ(rig.d2.used(), Bytes::zero());
+  EXPECT_EQ(ledger.released(), 1u);
+  // Second release and late consume are both dead: the lease is gone.
+  EXPECT_FALSE(ledger.release(res.lease, Time::minutes(6)));
+  EXPECT_FALSE(ledger.consume(res.lease, "ALPHA", Time::minutes(7)));
+  EXPECT_EQ(ledger.released(), 1u);
+  EXPECT_EQ(rig.s2.reserved_total(), Bytes::zero());
+}
+
 /// One execution site plus an SRM-fronted archive SE with a small disk,
 /// brokered: the fabric every lease-lifecycle scenario runs against.
 class PlacementFixture : public ::testing::Test {
@@ -179,8 +320,10 @@ class PlacementFixture : public ::testing::Test {
     sim.run_until(Time::minutes(1));
   }
 
-  /// Single-derivation workflow archiving one ~1 GB output to ARCHIVE.
-  std::optional<workflow::ConcreteDag> plan_one() {
+  /// Single-derivation workflow archiving one ~1 GB output to ARCHIVE,
+  /// optionally with failover SEs behind it.
+  std::optional<workflow::ConcreteDag> plan_one(
+      std::vector<std::string> fallbacks = {}) {
     workflow::VirtualDataCatalog vdc;
     vdc.add_transformation({"tf", "1", "app"});
     workflow::Derivation d;
@@ -199,13 +342,14 @@ class PlacementFixture : public ::testing::Test {
     workflow::PlannerConfig cfg;
     cfg.vo = "usatlas";
     cfg.archive_site = "ARCHIVE";
+    cfg.archive_fallbacks = std::move(fallbacks);
     util::Rng rng{9};
     return planner.plan(*dag, cfg, rng, sim.now());
   }
 
   /// Plans and launches one workflow; the result lands in `stats`.
-  void run_one() {
-    auto plan = plan_one();
+  void run_one(std::vector<std::string> fallbacks = {}) {
+    auto plan = plan_one(std::move(fallbacks));
     ASSERT_TRUE(plan.has_value());
     grid.dagman("usatlas").run(std::move(*plan), proxy,
                                [this](const workflow::DagRunStats& s) {
@@ -303,6 +447,116 @@ class ShortHoldPlacementFixture : public PlacementFixture {
     setup(cfg);
   }
 };
+
+/// PlacementFixture plus a second, roomier archive SE for failover-chain
+/// integration tests.
+class ChainPlacementFixture : public PlacementFixture {
+ protected:
+  void SetUp() override { setup_chain({}); }
+
+  void setup_chain(broker::BrokerConfig cfg) {
+    setup(cfg);
+    core::SiteConfig se2;
+    se2.name = "ARCHIVE2";
+    se2.owner_vo = "usatlas";
+    se2.cpus = 2;
+    se2.disk = Bytes::gb(10);
+    se2.deploy_srm = true;
+    se2.policy.max_walltime = Time::hours(48);
+    se2.policy.dedicated = true;
+    grid.add_site(se2, /*reliability=*/1000.0);
+    const std::vector<const vo::VomsServer*> servers{grid.voms("usatlas")};
+    grid.site("ARCHIVE2")->refresh_gridmap(servers);
+    grid.site("ARCHIVE2")->gatekeeper().set_submission_flake_rate(0.0);
+    grid.site("ARCHIVE2")->gatekeeper().set_environment_error_rate(0.0);
+    sim.run_until(sim.now() + Time::minutes(1));
+  }
+};
+
+TEST_F(ChainPlacementFixture, FullPrimaryArchivesAtFallbackSe) {
+  // ARCHIVE is full forever; the chain resolves the lease at ARCHIVE2
+  // and the workflow completes with zero stage-out failures.
+  grid.site("ARCHIVE")->disk().consume_unmanaged(Bytes::gb(3));
+  run_one({"ARCHIVE2"});
+  sim.run_until(sim.now() + Time::days(1));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->success);
+
+  PlacementLedger* ledger = grid.placement("usatlas");
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_EQ(ledger->consumed(), 1u);
+  EXPECT_GE(ledger->fallthroughs(), 1u);
+  EXPECT_EQ(ledger->active(), 0u);
+  // The bytes landed at the fallback; the primary holds only its fill.
+  EXPECT_GE(grid.site("ARCHIVE2")->disk().used(), Bytes::gb(1));
+  EXPECT_EQ(grid.site("ARCHIVE")->disk().used(), Bytes::gb(3));
+  EXPECT_EQ(grid.site("ARCHIVE2")->storage_element()->reserved_total(),
+            Bytes::zero());
+  // RLS registration followed the SE that actually archived the output.
+  const auto locs = grid.rls("usatlas")->locate("out0", sim.now());
+  ASSERT_FALSE(locs.empty());
+  bool at_fallback = false;
+  for (const auto& [site, replica] : locs) {
+    if (site == "ARCHIVE2" ||
+        replica.pfn.find("ARCHIVE2") != std::string::npos) {
+      at_fallback = true;
+    }
+  }
+  EXPECT_TRUE(at_fallback);
+  // The hop is visible on the MetricBus and in ACDC accounting.
+  EXPECT_FALSE(grid.igoc()
+                   .bus()
+                   .series("usatlas", metric::kLeaseFallthroughs)
+                   .empty());
+  const monitoring::MdViewer viewer{grid.igoc().job_db(),
+                                    grid.igoc().bus()};
+  EXPECT_GT(viewer.lease_fallthrough_hops(Time::zero(), sim.now()), 0u);
+}
+
+/// Chain fabric with a short broker max-hold, for whole-chain-full cases.
+class ShortHoldChainFixture : public ChainPlacementFixture {
+ protected:
+  void SetUp() override {
+    broker::BrokerConfig cfg;
+    cfg.max_hold = Time::hours(2);
+    setup_chain(cfg);
+  }
+};
+
+TEST_F(ShortHoldChainFixture, WholeChainFullHoldsAtMatchTime) {
+  // Both SEs full forever: the refusal surfaces as a match-time hold
+  // and a disk-full classification -- never a wasted execution.
+  grid.site("ARCHIVE")->disk().consume_unmanaged(Bytes::gb(3));
+  grid.site("ARCHIVE2")->disk().consume_unmanaged(Bytes::gb(10));
+  run_one({"ARCHIVE2"});
+  sim.run_until(sim.now() + Time::days(3));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->success);
+  const workflow::NodeResult& r = stats->node_results[0];
+  EXPECT_EQ(r.gram_status, gram::GramStatus::kDiskFull);
+  EXPECT_EQ(r.failure_class, "disk-full");
+  PlacementLedger* ledger = grid.placement("usatlas");
+  EXPECT_GT(ledger->rejected(), 0u);
+  EXPECT_EQ(ledger->active(), 0u);
+  EXPECT_EQ(grid.site("ALPHA")->gatekeeper().submissions(), 0u);
+}
+
+TEST_F(ShortHoldChainFixture, FallbackFreesBeforeHoldExpires) {
+  // Primary full forever, fallback full for one hour: the held match
+  // re-acquires down the chain once ARCHIVE2 drains.
+  grid.site("ARCHIVE")->disk().consume_unmanaged(Bytes::gb(3));
+  srm::DiskVolume& d2 = grid.site("ARCHIVE2")->disk();
+  d2.consume_unmanaged(Bytes::mb(9800));
+  sim.schedule_in(Time::hours(1), [&] { d2.cleanup(Bytes::mb(9800)); });
+  run_one({"ARCHIVE2"});
+  sim.run_until(sim.now() + Time::days(1));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->success);
+  PlacementLedger* ledger = grid.placement("usatlas");
+  EXPECT_GT(ledger->rejected(), 0u);  // the hold happened
+  EXPECT_EQ(ledger->consumed(), 1u);  // then the chain resolved
+  EXPECT_GE(d2.used(), Bytes::gb(1));
+}
 
 TEST_F(ShortHoldPlacementFixture, FullArchiveForeverFailsAsDiskFull) {
   grid.site("ARCHIVE")->disk().consume_unmanaged(Bytes::gb(3));
