@@ -2,7 +2,18 @@
 // network fair-share reallocation, scheduler matchmaking, metric bus
 // fan-out.  These bound how large a Grid3 scenario the simulator can
 // sustain.
+//
+// `perf_kernel --snapshot PATH` skips google-benchmark and writes a
+// small JSON snapshot (events/sec executed, queue schedule/cancel ops
+// per second, best of 3) that scripts/check_bench.py diffs against the
+// committed bench/BENCH_kernel.json baseline as a regression gate.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "batch/scheduler.h"
 #include "monitoring/bus.h"
@@ -95,6 +106,94 @@ void BM_MetricBusFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricBusFanout)->Arg(1)->Arg(32);
 
+// --- snapshot mode ----------------------------------------------------
+
+/// Wall-clock rate (items/sec) of `work`, best of `rounds` runs.
+template <typename Fn>
+double best_rate(int rounds, std::int64_t items, Fn work) {
+  double best = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    work();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    const double rate = static_cast<double>(items) / elapsed.count();
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+/// Schedule-heavy workload: `events` randomly-timed no-op events pushed
+/// and drained -- the hot loop of every scenario run.
+double measure_events_per_sec() {
+  constexpr int kEvents = 200'000;
+  return best_rate(3, kEvents, [] {
+    sim::Simulation sim;
+    util::Rng rng{1};
+    for (int i = 0; i < kEvents; ++i) {
+      sim.schedule_at(Time::seconds(rng.uniform(0.0, 1000.0)), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  });
+}
+
+/// Queue-op workload: schedule/cancel churn with periodic drains, the
+/// pattern timers and rescue paths put on the cancel bookkeeping.
+double measure_queue_ops_per_sec() {
+  constexpr int kRounds = 2'000;
+  constexpr int kPerRound = 50;
+  // Each round: 50 schedules + 25 cancels + drain.
+  constexpr std::int64_t kOps = static_cast<std::int64_t>(kRounds) *
+                                (kPerRound + kPerRound / 2);
+  return best_rate(3, kOps, [] {
+    sim::Simulation sim;
+    std::vector<sim::EventId> ids;
+    for (int round = 0; round < kRounds; ++round) {
+      ids.clear();
+      for (int i = 0; i < kPerRound; ++i) {
+        ids.push_back(sim.schedule_in(Time::seconds(1), [] {}));
+      }
+      for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+      sim.run();
+    }
+    benchmark::DoNotOptimize(sim.cancel_backlog());
+  });
+}
+
+int write_snapshot(const char* path) {
+  const double events = measure_events_per_sec();
+  const double queue_ops = measure_queue_ops_per_sec();
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_kernel: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"schema\": \"grid3-bench-kernel-v1\",\n"
+               "  \"events_per_sec\": %.0f,\n"
+               "  \"queue_ops_per_sec\": %.0f\n"
+               "}\n",
+               events, queue_ops);
+  std::fclose(out);
+  std::printf("perf_kernel snapshot: events_per_sec=%.0f "
+              "queue_ops_per_sec=%.0f -> %s\n",
+              events, queue_ops, path);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+      return write_snapshot(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,6 +29,14 @@ GATED = [
     "ablation_multise",
 ]
 
+# Kernel-throughput snapshot gate: `perf_kernel --snapshot` rates must
+# stay within KERNEL_REGRESSION_RATIO of the committed baseline.  0.5
+# tolerates shared-runner noise while still catching an accidental
+# O(n) -> O(n log^2 n) slip in the queue or cancel bookkeeping.
+KERNEL_BASELINE = "bench/BENCH_kernel.json"
+KERNEL_KEYS = ("events_per_sec", "queue_ops_per_sec")
+KERNEL_REGRESSION_RATIO = 0.5
+
 
 def run_bench(build_dir: pathlib.Path, name: str) -> dict:
     binary = build_dir / "bench" / name
@@ -88,6 +96,56 @@ def check_multise(entry: dict) -> list[str]:
     return problems
 
 
+def check_kernel_snapshot(build_dir: pathlib.Path,
+                          repo_root: pathlib.Path,
+                          out_dir: pathlib.Path | None) -> tuple[dict, list[str]]:
+    """Take a fresh perf_kernel snapshot and diff it against the
+    committed baseline; a rate below KERNEL_REGRESSION_RATIO x baseline
+    is a regression."""
+    entry: dict = {"name": "perf_kernel_snapshot"}
+    binary = build_dir / "bench" / "perf_kernel"
+    if not binary.exists():
+        entry["ok"] = False
+        return entry, [f"missing binary {binary}"]
+    snap_path = (out_dir or build_dir) / "BENCH_kernel.json"
+    started = time.monotonic()
+    proc = subprocess.run(
+        [str(binary), "--snapshot", str(snap_path)],
+        capture_output=True, text=True, timeout=600,
+    )
+    entry["seconds"] = round(time.monotonic() - started, 1)
+    if proc.returncode != 0:
+        entry["ok"] = False
+        return entry, [f"perf_kernel --snapshot exited {proc.returncode}"]
+    fresh = json.loads(snap_path.read_text(encoding="utf-8"))
+    entry["fresh"] = fresh
+
+    baseline_path = repo_root / KERNEL_BASELINE
+    if not baseline_path.exists():
+        entry["ok"] = False
+        return entry, [f"missing committed baseline {KERNEL_BASELINE}"]
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    entry["baseline"] = baseline
+
+    problems = []
+    for key in KERNEL_KEYS:
+        if key not in fresh:
+            problems.append(f"snapshot missing {key}")
+            continue
+        old, new = float(baseline.get(key, 0)), float(fresh[key])
+        ratio = new / old if old > 0 else float("inf")
+        print(f"    {key}: {new:,.0f} vs baseline {old:,.0f} "
+              f"({ratio:.2f}x)")
+        if ratio < KERNEL_REGRESSION_RATIO:
+            problems.append(
+                f"kernel throughput regression: {key} {new:,.0f} is "
+                f"{ratio:.2f}x the baseline {old:,.0f} "
+                f"(floor {KERNEL_REGRESSION_RATIO}x); if intentional, "
+                f"refresh {KERNEL_BASELINE}")
+    entry["ok"] = not problems
+    return entry, problems
+
+
 def check_bench_md(repo_root: pathlib.Path) -> list[str]:
     """Every gated bench must stay catalogued in docs/BENCH.md."""
     bench_md = repo_root / "docs" / "BENCH.md"
@@ -122,6 +180,14 @@ def main() -> int:
             problems.append(f"{name}: {entry.get('error', 'failed')}")
         if name == "ablation_multise" and entry["ok"]:
             problems.extend(check_multise(entry))
+
+    print("[....] perf_kernel snapshot")
+    snap_entry, snap_problems = check_kernel_snapshot(
+        args.build_dir, repo_root, args.out.parent if args.out else None)
+    entries.append(snap_entry)
+    problems.extend(snap_problems)
+    print(f"[{'PASS' if snap_entry.get('ok') else 'FAIL'}] perf_kernel "
+          f"snapshot ({snap_entry.get('seconds', '?')}s)")
 
     artifact = {"quick_mode": True, "benches": entries, "problems": problems}
     if args.out:

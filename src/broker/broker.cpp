@@ -441,6 +441,17 @@ void ResourceBroker::submit_gang(GangSpec gang,
     p->done = [member_done, i](const BrokeredResult& r) {
       (*member_done)(i, r);
     };
+    // Each member is its own model-checker actor ("gm:<gang>:<i>"); the
+    // assigned site is a shared resource key, so members co-located on
+    // one site -- and anything else touching that site, like a breaker
+    // trip -- stay mutually dependent while members on different sites
+    // commute.
+    const std::string& site = placement.member_sites[i];
+    sim::Simulation::ScopedTag tag{
+        sim_,
+        "gm:" + gang.gang_id + ":" + std::to_string(i) + "|site:" +
+            (site.empty() ? "unbound" : site),
+        sim::Simulation::ScopedTag::kReplace};
     try_match(p);
   }
 }
@@ -458,6 +469,16 @@ double ResourceBroker::predicted_load(const SiteView& site) const {
 int ResourceBroker::inflight(const std::string& site) const {
   auto it = inflight_.find(site);
   return it == inflight_.end() ? 0 : it->second;
+}
+
+std::vector<placement::LeaseId> ResourceBroker::live_gang_leases() const {
+  std::vector<placement::LeaseId> out;
+  for (const auto& [site, weak] : live_gangs_) {
+    if (auto gang = weak.lock(); gang != nullptr && gang->lease != 0) {
+      out.push_back(gang->lease);
+    }
+  }
+  return out;
 }
 
 std::vector<const SiteView*> ResourceBroker::admissible(const Pending& p,
@@ -649,6 +670,12 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
   // A slot freed: give held jobs a prompt re-match.
   if (!waiting_.empty() && !kick_scheduled_) {
     kick_scheduled_ = true;
+    // "rb" marks every broker timer as touching the shared broker state
+    // (waiting_ queue, in-flight counters): the model checker may permute
+    // a kick against another actor's retry, but never declare them
+    // independent.
+    sim::Simulation::ScopedTag tag{sim_, "rb",
+                                   sim::Simulation::ScopedTag::kAppend};
     sim_.schedule_in(Time::seconds(1), [this] { kick_waiting(); });
   }
 
@@ -709,6 +736,8 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
   double backoff = cfg_.rebind_backoff.to_seconds();
   for (int i = 1; i < p->rebinds; ++i) backoff *= cfg_.backoff_factor;
   auto self = p;
+  sim::Simulation::ScopedTag tag{sim_, "rb",
+                                 sim::Simulation::ScopedTag::kAppend};
   sim_.schedule_in(Time::seconds(backoff), [this, self] { try_match(self); });
 }
 
@@ -773,10 +802,20 @@ void ResourceBroker::hold(const std::shared_ptr<Pending>& p) {
     delay *= 1.0 + cfg_.hold_retry_jitter * jitter01(++hold_seq_ ^ cfg_.rng_seed);
   }
   auto self = p;
+  sim::Simulation::ScopedTag tag{sim_, "rb",
+                                 sim::Simulation::ScopedTag::kAppend};
   sim_.schedule_in(Time::seconds(delay), [this, self] { retry_held(self); });
 }
 
 void ResourceBroker::retry_held(const std::shared_ptr<Pending>& p) {
+  if (mc_seed_stale_hold_release_ && p->lease != 0 && ledger_ != nullptr) {
+    // Seeded historical bug (see test_seed_stale_hold_release): "clean
+    // up" the job's lease before re-matching.  Held jobs hold no lease,
+    // so the canonical event order never trips this -- but when a
+    // completion kick re-matched the job earlier in the same tick, this
+    // releases the lease its in-flight submission depends on.
+    ledger_->release(p->lease, sim_.now());
+  }
   // A completion kick may have drained it already.
   auto it = std::find(waiting_.begin(), waiting_.end(), p);
   if (it == waiting_.end()) return;
@@ -790,6 +829,8 @@ void ResourceBroker::on_site_quarantined(const std::string& site) {
   // (and jobs bound for the quarantined site re-rank elsewhere).
   if (!waiting_.empty() && !kick_scheduled_) {
     kick_scheduled_ = true;
+    sim::Simulation::ScopedTag tag{sim_, "rb",
+                                   sim::Simulation::ScopedTag::kAppend};
     sim_.schedule_in(Time::seconds(1), [this] { kick_waiting(); });
   }
   // Return gang-scoped intermediate reservations parked at the site: the

@@ -296,6 +296,18 @@ class ResourceBroker {
   [[nodiscard]] std::uint64_t gang_matches() const { return gang_matches_; }
   [[nodiscard]] std::uint64_t gang_splits() const { return gang_splits_; }
   [[nodiscard]] int inflight(const std::string& site) const;
+  /// Gang-scoped lease ids still held (model-checker introspection: the
+  /// gang invariant cross-checks these against the ledger's active set).
+  [[nodiscard]] std::vector<placement::LeaseId> live_gang_leases() const;
+
+  /// TEST-ONLY (mc seeded-bug scenario): re-introduce a historical bug
+  /// where retry_held "cleans up" the job's stage-out lease before
+  /// re-matching.  Harmless in the canonical event order -- a held job
+  /// holds no lease -- but when a completion kick re-matches the job
+  /// first within the same tick, the retry releases the lease the job's
+  /// in-flight submission depends on.  The mc seeded-bug test proves the
+  /// explorer finds this while a single-ordering run cannot.
+  void test_seed_stale_hold_release() { mc_seed_stale_hold_release_ = true; }
 
  private:
   /// Shared state of one submitted gang.  Members hold a reference; the
@@ -402,6 +414,7 @@ class ResourceBroker {
   std::map<std::string, double> inflight_staging_;
   std::deque<std::shared_ptr<Pending>> waiting_;
   bool kick_scheduled_ = false;
+  bool mc_seed_stale_hold_release_ = false;
   /// Monotone hold counter feeding the deterministic retry jitter.
   std::uint64_t hold_seq_ = 0;
   /// Live leased gangs by primary site, so a quarantine trip can return

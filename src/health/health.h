@@ -170,6 +170,18 @@ class SiteHealthMonitor {
   [[nodiscard]] std::uint64_t probes() const { return probes_; }
   [[nodiscard]] std::uint64_t readmissions() const { return readmissions_; }
 
+  /// Every site a breaker exists for (model-checker introspection: the
+  /// breaker invariant sweeps these for lost-quarantine states).
+  [[nodiscard]] std::vector<std::string> sites() const {
+    std::vector<std::string> out;
+    out.reserve(breakers_.size());
+    for (const auto& [site, b] : breakers_) out.push_back(site);
+    return out;
+  }
+  [[nodiscard]] bool has_probe_submitter() const {
+    return probe_submitter_ != nullptr;
+  }
+
   [[nodiscard]] const std::vector<BreakerEvent>& events() const {
     return events_;
   }

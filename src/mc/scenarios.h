@@ -1,0 +1,50 @@
+// Reduced scenarios for exhaustive interleaving checks.
+//
+// Each is a small, deterministic slice of the Grid3 stack built so that
+// the interesting race -- the pair of same-timestamp events whose order
+// the single-ordering test suite never varies -- actually occurs:
+//
+//   * "breaker":   two submitter streams fail two sites at the same
+//     instant; trips, escalating quarantine, probe re-certification and
+//     re-admission all run under permutation.  Exercises the breaker
+//     and determinism invariants (the two sites' chains are independent
+//     and must commute byte-for-byte).
+//   * "placement": a job storage-held by a full archive SE; an operator
+//     sweep frees the space and forces a requeue kick that collides
+//     with the job's own hold-retry timer.  Exercises the lease-audit
+//     invariant across the hold/retry/kick paths.
+//   * "gang":      a co-located two-member gang whose completions
+//     collide with a quarantine trip at the gang's primary site -- the
+//     three orders in which the gang lease can be drained.  Exercises
+//     the gang-lease and lease-audit invariants.
+//
+// seeded_lease_bug_scenario() is "placement" with the historical
+// stale-hold-release bug re-seeded via
+// ResourceBroker::test_seed_stale_hold_release(): the acceptance test
+// proves Explorer::explore() finds it while check_canonical() -- the
+// ordering every plain test run uses -- cannot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/explorer.h"
+
+namespace grid3::mc {
+
+struct NamedScenario {
+  std::string name;
+  std::string description;
+  ScenarioFactory factory;
+  McConfig config;  ///< horizon/budget tuned to the scenario's size
+};
+
+/// The reduced broker/placement/health scenarios grid3_mc_check explores
+/// exhaustively in CI.  All invariants must hold on every interleaving.
+std::vector<NamedScenario> reduced_scenarios();
+
+/// "placement" with the stale-hold-release bug seeded.  The explorer
+/// must find a lease-audit violation; the canonical ordering must not.
+NamedScenario seeded_lease_bug_scenario();
+
+}  // namespace grid3::mc

@@ -92,6 +92,7 @@ AcquireResult PlacementLedger::acquire(const std::vector<std::string>& chain,
       record(lease, "acquire", now, metric::kLeasesAcquired, acquired_);
       const LeaseId id = lease.id;
       leases_.emplace(id, std::move(lease));
+      if (audit_ != nullptr) audit_(id, "acquire");
       return {AcquireStatus::kLeased, id, dest_site, hops,
               std::move(refused)};
     }
@@ -119,6 +120,7 @@ AcquireResult PlacementLedger::acquire(const std::vector<std::string>& chain,
     lease.acquired = now;
     ++rejected_;
     record(lease, "reject", now, metric::kLeasesRejected, rejected_);
+    if (audit_ != nullptr) audit_(0, "reject");
     return {AcquireStatus::kDiskFull, 0, {}, hops, std::move(refused)};
   }
   // Every entry was unknown to the directory: no managed storage
@@ -128,7 +130,10 @@ AcquireResult PlacementLedger::acquire(const std::vector<std::string>& chain,
 
 bool PlacementLedger::release(LeaseId id, Time now) {
   auto it = leases_.find(id);
-  if (it == leases_.end()) return false;
+  if (it == leases_.end()) {
+    if (audit_ != nullptr) audit_(id, "release-stale");
+    return false;
+  }
   StageOutLease lease = std::move(it->second);
   leases_.erase(it);
   if (lease.reservation != 0) {
@@ -139,13 +144,17 @@ bool PlacementLedger::release(LeaseId id, Time now) {
   lease.state = LeaseState::kReleased;
   ++released_;
   record(lease, "release", now, metric::kLeasesReleased, released_);
+  if (audit_ != nullptr) audit_(id, "release");
   return true;
 }
 
 bool PlacementLedger::consume(LeaseId id, const std::string& completion_site,
                               Time now) {
   auto it = leases_.find(id);
-  if (it == leases_.end()) return false;
+  if (it == leases_.end()) {
+    if (audit_ != nullptr) audit_(id, "consume-stale");
+    return false;
+  }
   StageOutLease lease = std::move(it->second);
   leases_.erase(it);
   lease.completion_site = completion_site;
@@ -163,6 +172,7 @@ bool PlacementLedger::consume(LeaseId id, const std::string& completion_site,
   lease.state = LeaseState::kConsumed;
   ++consumed_;
   record(lease, "consume", now, metric::kLeasesConsumed, consumed_);
+  if (audit_ != nullptr) audit_(id, "consume");
   return true;
 }
 

@@ -211,6 +211,20 @@ class PlacementLedger {
   /// SRM backing an active lease's reservation (null in probe mode).
   [[nodiscard]] srm::StorageResourceManager* srm_for(LeaseId id);
 
+  /// Model-checker audit tap: fired on every lifecycle transition with
+  /// the lease id and the event name -- "acquire", "consume", "release",
+  /// "reject" (id 0), plus "consume-stale"/"release-stale" when the id
+  /// is not an active lease.  A stale event is the signature of a
+  /// double-release or use-after-release: exactly what the mc lease
+  /// invariant hunts across interleavings.
+  using AuditFn = std::function<void(LeaseId, const char* event)>;
+  void set_audit(AuditFn audit) { audit_ = std::move(audit); }
+
+  /// Active leases keyed by id (model-checker introspection).
+  [[nodiscard]] const std::map<LeaseId, StageOutLease>& active_leases() const {
+    return leases_;
+  }
+
   [[nodiscard]] const std::string& vo() const { return vo_; }
   [[nodiscard]] std::size_t active() const;
   /// Bytes currently secured by active leases.
@@ -234,6 +248,7 @@ class PlacementLedger {
   monitoring::MetricBus* bus_;
   monitoring::JobDatabase* accounting_;
   SiteFilter admissible_;
+  AuditFn audit_;
   LeaseId next_id_ = 1;
   std::map<LeaseId, StageOutLease> leases_;  ///< active only
   std::uint64_t acquired_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace grid3::sim {
@@ -7,7 +8,9 @@ namespace grid3::sim {
 EventId Simulation::schedule_at(Time t, EventFn fn) {
   assert(t >= now_);
   const EventId id = next_id_++;
-  queue_.push({t, id, std::move(fn)});
+  queue_.push_back({t, id, tag_, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  live_.insert(id);
   return id;
 }
 
@@ -16,31 +19,51 @@ EventId Simulation::schedule_in(Time delay, EventFn fn) {
 }
 
 bool Simulation::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy cancellation: drop on pop.
+  // Only ids still in the queue may enter cancelled_: marking an
+  // already-fired id would leak it forever (nothing pops it), growing
+  // the set monotonically over a multi-month campaign.
+  if (live_.find(id) == live_.end()) return false;
   return cancelled_.insert(id).second;
 }
 
-bool Simulation::step() {
+bool Simulation::settle_front() {
   while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = e.t;
-    ++executed_;
-    e.fn();
-    return true;
+    const Entry& top = queue_.front();
+    auto it = cancelled_.find(top.id);
+    if (it == cancelled_.end()) return true;
+    cancelled_.erase(it);
+    live_.erase(top.id);
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    queue_.pop_back();
   }
   return false;
 }
 
+void Simulation::execute(Entry e) {
+  now_ = e.t;
+  ++executed_;
+  // The event's tag becomes the ambient tag while it runs, so events it
+  // schedules inherit its actor/resource key by default.
+  ScopedTag scope{*this, e.tag};
+  e.fn();
+}
+
+bool Simulation::step() {
+  if (!settle_front()) return false;
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Entry e = std::move(queue_.back());
+  queue_.pop_back();
+  live_.erase(e.id);
+  execute(std::move(e));
+  return true;
+}
+
 void Simulation::run_until(Time t) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.t > t) break;
+  // settle_front() first: a cancelled entry at the heap top must not be
+  // allowed to stand in for the next live event's timestamp, or a horizon
+  // check against it would let step() overshoot `t`.
+  while (settle_front()) {
+    if (queue_.front().t > t) break;
     if (!step()) break;
   }
   if (now_ < t) now_ = t;
@@ -52,9 +75,53 @@ void Simulation::run() {
 }
 
 std::size_t Simulation::pending() const {
-  // cancelled_ may contain ids already popped is impossible (erased on
-  // pop), so pending is exact.
   return queue_.size() - cancelled_.size();
+}
+
+std::optional<Time> Simulation::next_time() const {
+  // const scan instead of settle_front(): skip cancelled entries without
+  // mutating the heap.
+  std::optional<Time> best;
+  for (const Entry& e : queue_) {
+    if (cancelled_.find(e.id) != cancelled_.end()) continue;
+    if (!best.has_value() || e.t < *best) best = e.t;
+  }
+  return best;
+}
+
+std::vector<ReadyEvent> Simulation::enumerate_ready() const {
+  std::vector<ReadyEvent> ready;
+  const auto front = next_time();
+  if (!front.has_value()) return ready;
+  for (const Entry& e : queue_) {
+    if (e.t != *front) continue;
+    if (cancelled_.find(e.id) != cancelled_.end()) continue;
+    ready.push_back({e.id, e.t, e.tag});
+  }
+  std::sort(ready.begin(), ready.end(),
+            [](const ReadyEvent& a, const ReadyEvent& b) {
+              return a.id < b.id;
+            });
+  return ready;
+}
+
+bool Simulation::step_event(EventId id) {
+  if (live_.find(id) == live_.end()) return false;
+  if (cancelled_.find(id) != cancelled_.end()) return false;
+  const auto front = next_time();
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [id](const Entry& e) { return e.id == id; });
+  assert(it != queue_.end());
+  if (!front.has_value() || it->t != *front) return false;  // no time travel
+  Entry e = std::move(*it);
+  // O(n) extraction: swap the hole to the back and re-heapify.  Only the
+  // model checker pays this; step() keeps the O(log n) heap path.
+  *it = std::move(queue_.back());
+  queue_.pop_back();
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  live_.erase(e.id);
+  execute(std::move(e));
+  return true;
 }
 
 PeriodicProcess::PeriodicProcess(Simulation& sim, Time interval, TickFn tick)

@@ -4,11 +4,19 @@
 // in scheduling order, which makes every run with a fixed RNG seed fully
 // deterministic.  All Grid3Sim services (gatekeepers, schedulers, GridFTP
 // servers, monitoring agents) are callbacks driven by this kernel.
+//
+// Model-checking hooks (grid3::mc): every event carries a *tag* naming
+// the actor that scheduled it plus the resources it touches
+// ("actor|res1|res2..."); tags are inherited from the executing event, so
+// a service only labels the roots of its causal chains.  The explorer
+// uses enumerate_ready()/step_event() to permute commutative
+// same-timestamp events instead of firing them in scheduling order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <optional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -19,6 +27,16 @@ namespace grid3::sim {
 using EventFn = std::function<void()>;
 using EventId = std::uint64_t;
 
+/// One pending event at the queue's front timestamp, as exposed to the
+/// model checker.  `tag` is "actor|res1|..." ("" = untagged background
+/// machinery, which the checker treats as a single totally-ordered
+/// pseudo-actor that conflicts with everything).
+struct ReadyEvent {
+  EventId id = 0;
+  Time t;
+  std::string tag;
+};
+
 class Simulation {
  public:
   Simulation() = default;
@@ -28,7 +46,8 @@ class Simulation {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (>= now).  Returns a handle usable
-  /// with cancel().
+  /// with cancel().  The event inherits the current tag (the executing
+  /// event's tag, or whatever a ScopedTag installed).
   EventId schedule_at(Time t, EventFn fn);
 
   /// Schedule `fn` after `delay` from now.
@@ -50,11 +69,65 @@ class Simulation {
 
   [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  /// Cancelled-but-not-yet-popped entries.  Bounded by pending(): cancel()
+  /// refuses ids that already fired, so the set cannot grow monotonically
+  /// over a long campaign (tests assert the bound).
+  [[nodiscard]] std::size_t cancel_backlog() const {
+    return cancelled_.size();
+  }
+
+  // --- event tags (model-checker independence relation) ---------------
+
+  /// Tag of the currently-executing event (events scheduled now inherit
+  /// it unless a ScopedTag overrides).
+  [[nodiscard]] const std::string& current_tag() const { return tag_; }
+
+  /// RAII tag override: events scheduled inside the scope carry `tag`
+  /// (kReplace) or the current tag with "|tag" appended (kAppend --
+  /// marking a shared resource without changing the actor, which is the
+  /// tag's first '|'-separated component).
+  class ScopedTag {
+   public:
+    enum Mode { kReplace, kAppend };
+    ScopedTag(Simulation& sim, const std::string& tag, Mode mode = kReplace)
+        : sim_{sim}, saved_{sim.tag_} {
+      if (mode == kAppend && !sim.tag_.empty()) {
+        sim.tag_ += '|';
+        sim.tag_ += tag;
+      } else {
+        sim.tag_ = tag;
+      }
+    }
+    ~ScopedTag() { sim_.tag_ = std::move(saved_); }
+    ScopedTag(const ScopedTag&) = delete;
+    ScopedTag& operator=(const ScopedTag&) = delete;
+
+   private:
+    Simulation& sim_;
+    std::string saved_;
+  };
+
+  // --- model-checker steering ------------------------------------------
+
+  /// Timestamp of the earliest live (non-cancelled) event, or nullopt
+  /// when the queue is drained.
+  [[nodiscard]] std::optional<Time> next_time() const;
+
+  /// Every live event at next_time(), sorted by id (the order step()
+  /// would fire them in).  O(pending); meant for the model checker, not
+  /// hot paths.
+  [[nodiscard]] std::vector<ReadyEvent> enumerate_ready() const;
+
+  /// Execute one specific event.  The event must be live and scheduled at
+  /// next_time() -- the checker may permute same-timestamp events but
+  /// never time-travel.  Returns false (and does nothing) otherwise.
+  bool step_event(EventId id);
 
  private:
   struct Entry {
     Time t;
     EventId id;
+    std::string tag;
     EventFn fn;
   };
   struct Later {
@@ -64,11 +137,21 @@ class Simulation {
     }
   };
 
+  /// Pop cancelled entries off the heap front; true when a live entry
+  /// remains on top.
+  bool settle_front();
+  void execute(Entry e);
+
   Time now_;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::string tag_;
+  // Binary heap over `queue_` (std::push_heap/pop_heap with Later), kept
+  // iterable so enumerate_ready()/step_event() can inspect and extract
+  // arbitrary front-timestamp events.
+  std::vector<Entry> queue_;
+  std::unordered_set<EventId> live_;       ///< scheduled, not yet popped
+  std::unordered_set<EventId> cancelled_;  ///< subset of live_
 };
 
 /// A self-rescheduling periodic callback (monitoring sweeps, exerciser

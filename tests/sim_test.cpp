@@ -89,6 +89,170 @@ TEST(Simulation, PendingCountsUncancelled) {
   EXPECT_EQ(sim.pending(), 1u);
 }
 
+TEST(Simulation, CancelRefusesAlreadyFiredIds) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(Time::seconds(1), [] {});
+  sim.run();
+  // The id is gone from the live set; cancelling it must not park a
+  // tombstone in the cancelled set.
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+}
+
+TEST(Simulation, CancelBacklogStaysBoundedByPending) {
+  // A long campaign of schedule+cancel churn: the cancelled set must
+  // track only still-pending entries (O(pending) bookkeeping), never
+  // accumulate ids that have already been popped or settled out.
+  Simulation sim;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10; ++i) {
+      ids.push_back(sim.schedule_in(Time::seconds(1), [] {}));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    EXPECT_LE(sim.cancel_backlog(), sim.pending() + 5u);  // the 5 cancelled
+    sim.run();
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_EQ(sim.cancel_backlog(), 0u);  // drained with the queue
+  }
+  EXPECT_EQ(sim.executed(), 500u);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizonWhenFrontIsCancelled) {
+  // A cancelled entry sitting on the heap front past the horizon must
+  // not drag the clock beyond `t`.
+  Simulation sim;
+  const EventId late = sim.schedule_at(Time::seconds(10), [] {});
+  sim.cancel(late);
+  sim.run_until(Time::seconds(5));
+  EXPECT_EQ(sim.now(), Time::seconds(5));
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulation, EventExactlyAtHorizonFires) {
+  Simulation sim;
+  bool at_horizon = false;
+  bool past_horizon = false;
+  sim.schedule_at(Time::seconds(5), [&] { at_horizon = true; });
+  sim.schedule_at(Time::seconds(5) + Time::micros(1),
+                  [&] { past_horizon = true; });
+  sim.run_until(Time::seconds(5));
+  EXPECT_TRUE(at_horizon);
+  EXPECT_FALSE(past_horizon);
+  EXPECT_EQ(sim.now(), Time::seconds(5));
+}
+
+TEST(Simulation, CancelDuringCallbackStopsSameInstantSibling) {
+  // An event cancelling its same-timestamp sibling from inside its own
+  // callback: the sibling is already in the queue at the front instant
+  // and must not fire.
+  Simulation sim;
+  bool sibling_fired = false;
+  EventId sibling = 0;
+  sim.schedule_at(Time::seconds(1), [&] { sim.cancel(sibling); });
+  sibling = sim.schedule_at(Time::seconds(1), [&] { sibling_fired = true; });
+  sim.run();
+  EXPECT_FALSE(sibling_fired);
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+}
+
+TEST(Simulation, EnumerateReadyListsFrontInstantSortedById) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(Time::seconds(1), [] {});
+  const EventId b = sim.schedule_at(Time::seconds(1), [] {});
+  sim.schedule_at(Time::seconds(2), [] {});  // not at the front instant
+  const EventId d = sim.schedule_at(Time::seconds(1), [] {});
+  sim.cancel(d);  // cancelled events are not ready
+
+  ASSERT_TRUE(sim.next_time().has_value());
+  EXPECT_EQ(*sim.next_time(), Time::seconds(1));
+  const auto ready = sim.enumerate_ready();
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].id, a);
+  EXPECT_EQ(ready[1].id, b);
+  EXPECT_LT(ready[0].id, ready[1].id);
+}
+
+TEST(Simulation, StepEventPermutesOnlyTheFrontInstant) {
+  Simulation sim;
+  std::vector<int> order;
+  const EventId a = sim.schedule_at(Time::seconds(1), [&] { order.push_back(0); });
+  const EventId b = sim.schedule_at(Time::seconds(1), [&] { order.push_back(1); });
+  const EventId later = sim.schedule_at(Time::seconds(2), [&] { order.push_back(2); });
+
+  EXPECT_FALSE(sim.step_event(later));     // not at next_time(): refused
+  EXPECT_FALSE(sim.step_event(99999));     // unknown id: refused
+  EXPECT_TRUE(sim.step_event(b));          // permuted ahead of a
+  EXPECT_TRUE(sim.step_event(a));
+  EXPECT_FALSE(sim.step_event(a));         // already fired
+  EXPECT_TRUE(sim.step_event(later));      // now at the front
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(sim.now(), Time::seconds(2));
+}
+
+TEST(Simulation, StepEventKeepsSameActorScheduleOrderStable) {
+  // The checker only ever fires the lowest-id head per actor, so firing
+  // front events in id order must reproduce exactly what step() does.
+  Simulation a_sim;
+  Simulation b_sim;
+  std::vector<int> via_step;
+  std::vector<int> via_step_event;
+  const auto seed = [](Simulation& s, std::vector<int>& order) {
+    for (int i = 0; i < 5; ++i) {
+      s.schedule_at(Time::seconds(1), [&order, i] { order.push_back(i); });
+    }
+  };
+  seed(a_sim, via_step);
+  seed(b_sim, via_step_event);
+  a_sim.run();
+  while (b_sim.next_time().has_value()) {
+    const auto ready = b_sim.enumerate_ready();
+    ASSERT_FALSE(ready.empty());
+    EXPECT_TRUE(b_sim.step_event(ready.front().id));  // lowest id first
+  }
+  EXPECT_EQ(via_step, via_step_event);
+}
+
+TEST(Simulation, ScopedTagReplaceAndAppend) {
+  Simulation sim;
+  std::string inherited;
+  {
+    Simulation::ScopedTag actor{sim, "job:J"};
+    EXPECT_EQ(sim.current_tag(), "job:J");
+    {
+      Simulation::ScopedTag res{sim, "se:ARCHIVE",
+                                Simulation::ScopedTag::kAppend};
+      EXPECT_EQ(sim.current_tag(), "job:J|se:ARCHIVE");
+      sim.schedule_at(Time::seconds(1), [&] {
+        // Tag inheritance: events scheduled while this one executes
+        // carry its tag without any explicit ScopedTag.
+        inherited = sim.current_tag();
+        sim.schedule_in(Time::seconds(1), [] {});
+      });
+    }
+    EXPECT_EQ(sim.current_tag(), "job:J");
+  }
+  EXPECT_EQ(sim.current_tag(), "");
+
+  const auto ready = sim.enumerate_ready();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].tag, "job:J|se:ARCHIVE");
+  sim.run_until(Time::seconds(1));
+  EXPECT_EQ(inherited, "job:J|se:ARCHIVE");
+  const auto child = sim.enumerate_ready();
+  ASSERT_EQ(child.size(), 1u);
+  EXPECT_EQ(child[0].tag, "job:J|se:ARCHIVE");  // inherited transitively
+}
+
+TEST(Simulation, AppendOnEmptyTagReplaces) {
+  Simulation sim;
+  Simulation::ScopedTag tag{sim, "rb", Simulation::ScopedTag::kAppend};
+  // No ambient actor: the append degenerates to a plain tag rather than
+  // producing a leading separator.
+  EXPECT_EQ(sim.current_tag(), "rb");
+}
+
 TEST(PeriodicProcess, TicksAtInterval) {
   Simulation sim;
   PeriodicProcess proc{sim, Time::minutes(10), [] { return true; }};
