@@ -27,6 +27,7 @@ GATED = [
     "ablation_placement",
     "ablation_blackhole",
     "ablation_multise",
+    "grid30",
 ]
 
 # Kernel-throughput snapshot gate: `perf_kernel --snapshot` rates must
@@ -34,7 +35,8 @@ GATED = [
 # tolerates shared-runner noise while still catching an accidental
 # O(n) -> O(n log^2 n) slip in the queue or cancel bookkeeping.
 KERNEL_BASELINE = "bench/BENCH_kernel.json"
-KERNEL_KEYS = ("events_per_sec", "queue_ops_per_sec")
+KERNEL_KEYS = ("events_per_sec", "queue_ops_per_sec",
+               "match_cycles_per_sec")
 KERNEL_REGRESSION_RATIO = 0.5
 
 
@@ -93,6 +95,25 @@ def check_multise(entry: dict) -> list[str]:
             f"{r['single_completed']}")
     if r["fallthroughs"] <= 0 or r["acdc_hops"] <= 0:
         problems.append("fallthrough hops not visible on bus/ACDC")
+    return problems
+
+
+def check_grid30(entry: dict) -> list[str]:
+    """Re-verify the BENCH.md grid30 row from the raw numbers."""
+    problems = []
+    r = entry.get("result")
+    if not r:
+        return ["grid30 printed no result-json line"]
+    if r["sites"] != 270:
+        problems.append(f"grid30 fabric is {r['sites']} sites, not 270")
+    if r["match_speedup"] < 5.0:
+        problems.append(
+            f"incremental match speedup {r['match_speedup']:.2f}x is "
+            "below the 5x floor")
+    if not r["identical_decisions"]:
+        problems.append(
+            "incremental and full-rescore campaigns diverged; the rank "
+            "cache changed a match decision")
     return problems
 
 
@@ -180,6 +201,8 @@ def main() -> int:
             problems.append(f"{name}: {entry.get('error', 'failed')}")
         if name == "ablation_multise" and entry["ok"]:
             problems.extend(check_multise(entry))
+        if name == "grid30" and entry["ok"]:
+            problems.extend(check_grid30(entry))
 
     print("[....] perf_kernel snapshot")
     snap_entry, snap_problems = check_kernel_snapshot(

@@ -44,6 +44,7 @@ Scenario::Scenario(sim::Simulation& sim, ScenarioOptions opts)
   grid_ = std::make_unique<core::Grid3>(sim, opts.seed);
   core::AssembleOptions ao;
   ao.cpu_scale = opts.cpu_scale;
+  ao.roster_replicas = opts.roster_replicas;
   assembled_ = core::assemble_grid3(*grid_, ao);
 
   // Brokers must exist before the apps: each AppBase binds its planner
@@ -51,6 +52,7 @@ Scenario::Scenario(sim::Simulation& sim, ScenarioOptions opts)
   if (opts.broker_policy != broker::PolicyKind::kNone) {
     broker::BrokerConfig bcfg;
     bcfg.placement_leases = opts.placement_leases;
+    bcfg.incremental_rank = opts.broker_incremental_rank;
     for (const std::string& vo : core::canonical_vos()) {
       grid_->attach_broker(vo, opts.broker_policy, bcfg);
     }

@@ -39,6 +39,13 @@ struct ScenarioOptions {
   /// With a broker attached: acquire stage-out leases (SRM space at the
   /// destination SE) before binding.  False = the no-lease baseline.
   bool placement_leases = true;
+  /// With a broker attached: serve rank scores from the incremental
+  /// cache (delta-event invalidation).  False forces the full per-match
+  /// rescore -- the grid30 bench's equivalence baseline.
+  bool broker_incremental_rank = true;
+  /// Fabric replication factor (see core::AssembleOptions): 1 = the
+  /// historical 27-site roster, 10 = the "Grid30" 270-site fabric.
+  int roster_replicas = 1;
 };
 
 struct Window {

@@ -1,7 +1,10 @@
 #include "broker/broker.h"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cstdio>
+#include <functional>
 
 #include "mds/schema.h"
 
@@ -22,7 +25,22 @@ ResourceBroker::ResourceBroker(sim::Simulation& sim, BrokerConfig cfg,
       gatekeepers_{gatekeepers},
       condor_g_{condor_g},
       accounting_{accounting},
-      rng_{cfg.rng_seed} {}
+      rng_{cfg.rng_seed},
+      ids_{std::make_shared<core::IdRegistry>()} {}
+
+void ResourceBroker::set_id_registry(std::shared_ptr<core::IdRegistry> ids) {
+  assert(ids != nullptr);
+  assert(inflight_.size() == 0 &&
+         "share the registry before the broker carries traffic");
+  ids_ = std::move(ids);
+  // Site numbering changed: drop every id-keyed cache.
+  view_valid_ = false;
+  view_index_.clear();
+  rank_columns_.clear();
+  rank_dirt_.clear();
+  inflight_.clear();
+  inflight_staging_.clear();
+}
 
 const std::vector<SiteView>& ResourceBroker::view(Time now) {
   if (!view_valid_ || now - view_refreshed_ >= cfg_.view_ttl) {
@@ -39,6 +57,8 @@ void ResourceBroker::refresh_view(Time now) {
   for (auto& snap : snaps) {
     SiteView v;
     v.site = snap.site;
+    v.id = ids_->sites.intern(snap.site);
+    v.gk = gatekeepers_.gatekeeper(snap.site);
     v.fresh = snap.fresh;
     v.total_cpus = static_cast<int>(
         snap.get_int(mds::glue::kTotalCpus).value_or(0));
@@ -73,6 +93,12 @@ void ResourceBroker::refresh_view(Time now) {
   }
   std::sort(view_.begin(), view_.end(),
             [](const SiteView& a, const SiteView& b) { return a.site < b.site; });
+  view_index_.assign(ids_->sites.size(), -1);
+  for (std::size_t i = 0; i < view_.size(); ++i) {
+    view_index_.at_or_grow(view_[i].id) = static_cast<std::int32_t>(i);
+  }
+  // New epoch: every cached rank column keyed off the old view is stale.
+  ++view_epoch_;
   view_refreshed_ = now;
   view_valid_ = true;
 }
@@ -95,9 +121,12 @@ bool ResourceBroker::meets_requirements(const JobSpec& spec,
 
 std::vector<std::string> ResourceBroker::eligible(const JobSpec& spec,
                                                   Time now) {
+  view(now);
+  RankColumn* col =
+      cfg_.incremental_rank ? resolve_column(spec_signature(spec)) : nullptr;
   std::vector<std::string> out;
-  for (const SiteView& v : view(now)) {
-    if (meets_requirements(spec, v)) out.push_back(v.site);
+  for (const SiteView& v : view_) {
+    if (eligible_in(spec, v, col)) out.push_back(v.site);
   }
   return out;  // view_ is name-sorted
 }
@@ -147,40 +176,161 @@ double storage_headroom(const JobSpec& spec, const SiteView& site) {
   return storage_headroom_for((spec.stage_in + spec.scratch).to_gb(), site);
 }
 
+/// Spec-signature hash combiner (boost-style mix; any deterministic
+/// 64-bit mix works, the signature never leaves the process).
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+std::uint64_t mix_str(std::uint64_t h, const std::string& s) {
+  return mix64(h, std::hash<std::string>{}(s));
+}
+
+std::uint64_t mix_double(std::uint64_t h, double d) {
+  return mix64(h, std::bit_cast<std::uint64_t>(d));
+}
+
+/// Cache columns kept live at once; concurrently active spec classes
+/// beyond this just recompute (correct, merely slower).
+constexpr std::size_t kRankColumns = 8;
+
 }  // namespace
 
-double ResourceBroker::effective_score(const JobSpec& spec,
-                                       const SiteView& site, Time now) const {
-  double score;
+std::uint64_t ResourceBroker::spec_signature(const JobSpec& spec) const {
+  // Covers every spec field the cached terms read: the eligibility
+  // gates (required_app, runtime/slack, min CPUs, outbound) and the
+  // inputs a cacheable policy may consult (preferences, data inputs,
+  // catalog, footprint).  The policy object itself is part of the key
+  // so re-attaching a broker with a new policy cannot serve old scores.
+  std::uint64_t h = 0x5ca1ab1e0ddba11ull;
+  h = mix64(h, reinterpret_cast<std::uintptr_t>(policy_.get()));
+  h = mix_str(h, spec.vo);
+  h = mix_str(h, spec.app);
+  h = mix_str(h, spec.required_app);
+  h = mix64(h, static_cast<std::uint64_t>(spec.runtime.ticks()));
+  h = mix_double(h, spec.walltime_slack);
+  h = mix64(h, static_cast<std::uint64_t>(spec.min_free_cpus));
+  h = mix64(h, spec.need_outbound ? 1 : 0);
+  h = mix64(h, static_cast<std::uint64_t>(spec.stage_in.count()));
+  h = mix64(h, static_cast<std::uint64_t>(spec.scratch.count()));
+  for (const auto& [site, weight] : spec.site_preference) {
+    h = mix_str(h, site);
+    h = mix_double(h, weight);
+  }
+  h = mix64(h, spec.site_preference.size());
+  for (const std::string& lfn : spec.data_inputs) h = mix_str(h, lfn);
+  h = mix64(h, spec.data_inputs.size());
+  h = mix64(h, reinterpret_cast<std::uintptr_t>(spec.rls));
+  return h;
+}
+
+ResourceBroker::RankColumn* ResourceBroker::resolve_column(std::uint64_t sig) {
+  if (rank_columns_.empty()) rank_columns_.resize(kRankColumns);
+  for (RankColumn& c : rank_columns_) {
+    if (c.valid && c.sig == sig && c.epoch == view_epoch_) return &c;
+  }
+  RankColumn& c = rank_columns_[next_column_];
+  next_column_ = (next_column_ + 1) % rank_columns_.size();
+  c.sig = sig;
+  c.epoch = view_epoch_;
+  c.valid = true;
+  c.entries.clear();
+  return &c;
+}
+
+bool ResourceBroker::eligible_in(const JobSpec& spec, const SiteView& v,
+                                 RankColumn* col) {
+  if (col == nullptr) return meets_requirements(spec, v);
+  RankEntry& e = col->entries.at_or_grow(v.id);
+  if (!e.has_elig) {
+    e.eligible = meets_requirements(spec, v);
+    e.has_elig = true;
+  }
+  return e.eligible;
+}
+
+double ResourceBroker::policy_term(const JobSpec& spec, const SiteView& site,
+                                   Time now) const {
   // The view's free-CPU count is stale within the TTL: submissions this
   // broker already has in flight there have not been seen by the GIIS.
   // Score against the net free slots so a burst of siblings does not
   // all pile onto the site that looked emptiest five minutes ago.
-  if (const int inf = inflight(site.site); inf > 0) {
+  if (const int inf = inflight(site.id); inf > 0) {
     SiteView adjusted = site;
     adjusted.free_cpus = std::max(0, site.free_cpus - inf);
-    score = policy_->score(spec, adjusted, now);
-  } else {
-    score = policy_->score(spec, site, now);
+    return policy_->score(spec, adjusted, now);
   }
+  return policy_->score(spec, site, now);
+}
+
+double ResourceBroker::cached_policy_term(const JobSpec& spec,
+                                          const SiteView& site,
+                                          RankColumn* col, bool cache,
+                                          Time now) {
+  RankEntry* e =
+      (cache && col != nullptr) ? &col->entries.at_or_grow(site.id) : nullptr;
+  const std::uint64_t dirt = rank_dirt_.get(site.id, 0);
+  if (e != nullptr && e->has_score && e->clean == dirt) {
+    ++rank_cache_hits_;
+    return e->policy_score;
+  }
+  ++rank_evals_;
+  const double score = policy_term(spec, site, now);
+  if (e != nullptr) {
+    e->policy_score = score;
+    e->clean = dirt;
+    e->has_score = true;
+  }
+  return score;
+}
+
+void ResourceBroker::mark_rank_dirty(core::SiteId site) {
+  if (site.valid()) ++rank_dirt_.at_or_grow(site);
+}
+
+void ResourceBroker::mark_rank_dirty(const std::string& site) {
+  mark_rank_dirty(ids_->sites.find(site));
+}
+
+ResourceBroker::RankPass ResourceBroker::begin_pass(const JobSpec& spec,
+                                                    Time now) {
+  view(now);
+  ++match_cycles_;
+  RankPass pass;
   // Placement-aware ranking only with a ledger attached, so the
   // ledger-free broker keeps its established match log byte-for-byte.
+  // The chain factor is site-independent, so one evaluation serves the
+  // whole candidate ordering.
+  if (ledger_ != nullptr) pass.chain = chain_headroom(spec);
+  if (!spec.source_site.empty()) {
+    pass.source = ids_->sites.find(spec.source_site);
+  }
+  if (cfg_.incremental_rank) {
+    pass.sig = spec_signature(spec);
+    pass.col = resolve_column(pass.sig);
+    pass.cache = policy_->cacheable();
+  }
+  return pass;
+}
+
+double ResourceBroker::effective_score(const JobSpec& spec,
+                                       const SiteView& site, Time now,
+                                       const RankPass& pass) {
+  double score = cached_policy_term(spec, site, pass.col, pass.cache, now);
   // The archive chain's headroom is site-independent (it scores the
   // stage-out destination, not the execution site), so it scales every
   // candidate equally: argmax order and weighted-draw proportions are
   // untouched, but the logged score reflects how starved the job's
   // archive options are.
   if (ledger_ != nullptr) {
-    score *= storage_headroom(spec, site) * chain_headroom(spec);
+    score *= storage_headroom(spec, site) * pass.chain;
   }
   // Data affinity: the site already holding this job's input data
   // (typically a sibling's intermediate product) is boosted so the
   // consumer chases its data instead of pricing a WAN transfer.  The
   // hint stands on its own: a provisionally co-located consumer carries
   // no folded stage-in bytes, yet its data is just as immobile.
-  if (!spec.source_site.empty() && site.site == spec.source_site) {
-    score *= cfg_.source_affinity;
-  }
+  if (site.id == pass.source) score *= cfg_.source_affinity;
   return score;
 }
 
@@ -192,12 +342,10 @@ double ResourceBroker::chain_headroom(const JobSpec& spec) const {
   double best = -1.0;
   auto consider = [&](const std::string& se) {
     if (health_ != nullptr && health_->quarantined(se)) return;
-    for (const SiteView& v : view_) {
-      if (v.site == se) {
-        best = std::max(best, storage_headroom_for(need_gb, v));
-        return;
-      }
-    }
+    const std::int32_t idx =
+        view_index_.get(ids_->sites.find(se), std::int32_t{-1});
+    if (idx < 0) return;
+    best = std::max(best, storage_headroom_for(need_gb, view_[idx]));
   };
   consider(spec.stage_out_site);
   for (const std::string& se : spec.stage_out_fallbacks) consider(se);
@@ -207,12 +355,12 @@ double ResourceBroker::chain_headroom(const JobSpec& spec) const {
 
 const SiteView* ResourceBroker::rank_and_pick(
     const JobSpec& spec, const std::vector<const SiteView*>& sites, Time now,
-    double* chosen_score) {
+    const RankPass& pass, double* chosen_score) {
   if (sites.empty()) return nullptr;
   std::vector<double> scores;
   scores.reserve(sites.size());
   for (const SiteView* s : sites) {
-    scores.push_back(effective_score(spec, *s, now));
+    scores.push_back(effective_score(spec, *s, now, pass));
   }
   std::size_t pick = 0;
   if (policy_->stochastic()) {
@@ -230,25 +378,30 @@ const SiteView* ResourceBroker::rank_and_pick(
 
 std::optional<std::string> ResourceBroker::choose(const JobSpec& spec,
                                                   Time now) {
-  view(now);
+  const RankPass pass = begin_pass(spec, now);
   const auto healthy = [this](const SiteView& v) {
     return health_ == nullptr || !health_->quarantined(v.site);
   };
   std::vector<const SiteView*> pool;
   if (spec.candidates.empty()) {
     for (const SiteView& v : view_) {
-      if (meets_requirements(spec, v) && healthy(v)) pool.push_back(&v);
+      if (eligible_in(spec, v, pass.col) && healthy(v)) pool.push_back(&v);
     }
   } else {
-    for (const SiteView& v : view_) {
-      if (std::find(spec.candidates.begin(), spec.candidates.end(), v.site) !=
-              spec.candidates.end() &&
-          healthy(v)) {
-        pool.push_back(&v);
+    // Candidate membership as a bitset test instead of a linear
+    // std::find over the name list per view site.  find (not intern) is
+    // enough: a name this registry has never seen cannot be in view_.
+    scratch_bits_.clear();
+    for (const std::string& c : spec.candidates) {
+      if (const core::SiteId id = ids_->sites.find(c); id.valid()) {
+        scratch_bits_.set(id);
       }
     }
+    for (const SiteView& v : view_) {
+      if (scratch_bits_.test(v.id) && healthy(v)) pool.push_back(&v);
+    }
   }
-  const SiteView* picked = rank_and_pick(spec, pool, now, nullptr);
+  const SiteView* picked = rank_and_pick(spec, pool, now, pass, nullptr);
   if (picked == nullptr) return std::nullopt;
   return picked->site;
 }
@@ -265,7 +418,7 @@ void ResourceBroker::submit(JobSpec spec, gram::GramJob job,
 }
 
 int ResourceBroker::gang_capacity(const SiteView& site) const {
-  const int inf = inflight(site.site);
+  const int inf = inflight(site.id);
   // Free slots the view advertises, net of what this broker already has
   // in flight there, bounded by the per-site throttle.
   int cap = std::min(site.free_cpus - inf, cfg_.max_inflight_per_site - inf);
@@ -273,7 +426,8 @@ int ResourceBroker::gang_capacity(const SiteView& site) const {
   // the same minute adds n * burst_weight to the gatekeeper's section
   // 6.4 burst term, so the site can absorb at most headroom/burst_weight
   // members before the broker's own ceiling would be crossed.
-  const gram::Gatekeeper* gk = gatekeepers_.gatekeeper(site.site);
+  const gram::Gatekeeper* gk =
+      site.gk != nullptr ? site.gk : gatekeepers_.gatekeeper(site.site);
   const double burst_weight =
       gk != nullptr ? gk->config().burst_weight : 0.0;
   if (burst_weight > 0.0) {
@@ -289,6 +443,7 @@ GangPlacement ResourceBroker::match_gang(const GangSpec& gang, Time now) {
   out.member_sites.assign(gang.members.size(), std::string{});
   if (gang.members.empty()) return out;
   view(now);
+  ++match_cycles_;
 
   // The level's aggregate disk footprint at one site: every member's
   // stage-in + scratch plus the intermediates the level parks for its
@@ -298,23 +453,50 @@ GangPlacement ResourceBroker::match_gang(const GangSpec& gang, Time now) {
     need_gb += (m.stage_in + m.scratch).to_gb();
   }
 
+  const JobSpec& representative = gang.members.front();
+  // Uniform levels -- every member in the representative's spec class,
+  // the common case for DAG levels of identical production tasks --
+  // amortize one eligibility/score column across the whole gang (and
+  // share it with the members' own try_match passes).  Mixed levels
+  // keep the per-member eligibility loop.
+  RankColumn* col = nullptr;
+  bool cache = false;
+  bool uniform = false;
+  if (cfg_.incremental_rank) {
+    const std::uint64_t rep_sig = spec_signature(representative);
+    uniform = true;
+    for (std::size_t i = 1; i < gang.members.size() && uniform; ++i) {
+      uniform = spec_signature(gang.members[i]) == rep_sig;
+    }
+    if (uniform) {
+      col = resolve_column(rep_sig);
+      cache = policy_->cacheable();
+    }
+  }
+
   struct Candidate {
     const SiteView* site;
     double score;
     int capacity;
   };
   std::vector<Candidate> pool;
-  const JobSpec& representative = gang.members.front();
   for (const SiteView& v : view_) {
-    if (gatekeepers_.gatekeeper(v.site) == nullptr) continue;
+    if ((v.gk != nullptr ? v.gk : gatekeepers_.gatekeeper(v.site)) ==
+        nullptr) {
+      continue;
+    }
     // Quarantine beats any rank score: a black hole's deceptively empty
     // queue must not win the whole level.
     if (health_ != nullptr && health_->quarantined(v.site)) continue;
     bool all_eligible = true;
-    for (const JobSpec& m : gang.members) {
-      if (!meets_requirements(m, v)) {
-        all_eligible = false;
-        break;
+    if (uniform) {
+      all_eligible = eligible_in(representative, v, col);
+    } else {
+      for (const JobSpec& m : gang.members) {
+        if (!meets_requirements(m, v)) {
+          all_eligible = false;
+          break;
+        }
       }
     }
     if (!all_eligible) continue;
@@ -324,9 +506,7 @@ GangPlacement ResourceBroker::match_gang(const GangSpec& gang, Time now) {
     // against the view net of in-flight bindings, then the whole
     // level's footprint sets the storage headroom (ledger-gated like
     // per-job ranking, so the ledger-free broker stays byte-identical).
-    SiteView adjusted = v;
-    adjusted.free_cpus = std::max(0, v.free_cpus - inflight(v.site));
-    double score = policy_->score(representative, adjusted, now);
+    double score = cached_policy_term(representative, v, col, cache, now);
     if (ledger_ != nullptr) score *= storage_headroom_for(need_gb, v);
     pool.push_back({&v, score, cap});
   }
@@ -461,14 +641,12 @@ double ResourceBroker::predicted_load(const SiteView& site) const {
   // same 2-4x the gatekeeper's own load model applies: a job archiving
   // gigabytes through its jobmanager loads the gatekeeper harder than a
   // no-staging probe, and the view's MonALISA sample hasn't seen either.
-  auto it = inflight_staging_.find(site.site);
-  const double staged = it == inflight_staging_.end() ? 0.0 : it->second;
+  const double staged = inflight_staging_.get(site.id, 0.0);
   return site.gatekeeper_load + cfg_.inflight_load_weight * staged;
 }
 
 int ResourceBroker::inflight(const std::string& site) const {
-  auto it = inflight_.find(site);
-  return it == inflight_.end() ? 0 : it->second;
+  return inflight_.get(ids_->sites.find(site), 0);
 }
 
 std::vector<placement::LeaseId> ResourceBroker::live_gang_leases() const {
@@ -481,9 +659,23 @@ std::vector<placement::LeaseId> ResourceBroker::live_gang_leases() const {
   return out;
 }
 
-std::vector<const SiteView*> ResourceBroker::admissible(const Pending& p,
-                                                        Time now,
-                                                        bool* any_deferred) {
+void ResourceBroker::build_candidate_bits(Pending& p) {
+  // Intern (not find): a candidate the GIIS has not shown yet must still
+  // get a bit, so it is recognised when a later refresh brings it into
+  // the view.  Registration order stays deterministic -- the planner
+  // emits candidate lists in the same order every run.
+  for (const std::string& c : p.spec.candidates) {
+    p.candidate_bits.set(ids_->sites.intern(c));
+  }
+  p.candidate_distinct = p.candidate_bits.count();
+  for (const std::string& c : p.spec.deferred_candidates) {
+    p.deferred_bits.set(ids_->sites.intern(c));
+  }
+  p.bits_built = true;
+}
+
+std::vector<const SiteView*> ResourceBroker::admissible(
+    Pending& p, Time now, const RankPass& pass, bool* any_deferred) {
   view(now);
   std::vector<const SiteView*> out;
   auto consider = [&](const SiteView& v) {
@@ -499,29 +691,29 @@ std::vector<const SiteView*> ResourceBroker::admissible(const Pending& p,
       *any_deferred = true;
       return;
     }
-    if (inflight(v.site) >= cfg_.max_inflight_per_site ||
+    if (inflight(v.id) >= cfg_.max_inflight_per_site ||
         predicted_load(v) >= cfg_.load_ceiling) {
       *any_deferred = true;
       return;
     }
-    if (gatekeepers_.gatekeeper(v.site) == nullptr) return;
+    if ((v.gk != nullptr ? v.gk : gatekeepers_.gatekeeper(v.site)) ==
+        nullptr) {
+      return;
+    }
     out.push_back(&v);
   };
   if (p.spec.candidates.empty()) {
     for (const SiteView& v : view_) {
-      if (meets_requirements(p.spec, v)) consider(v);
+      if (eligible_in(p.spec, v, pass.col)) consider(v);
     }
   } else {
-    const auto listed = [](const std::vector<std::string>& list,
-                           const std::string& site) {
-      return std::find(list.begin(), list.end(), site) != list.end();
-    };
+    if (!p.bits_built) build_candidate_bits(p);
     std::size_t found = 0;
     for (const SiteView& v : view_) {
-      if (listed(p.spec.candidates, v.site)) {
+      if (p.candidate_bits.test(v.id)) {
         ++found;
         consider(v);
-      } else if (listed(p.spec.deferred_candidates, v.site)) {
+      } else if (p.deferred_bits.test(v.id)) {
         // The planner parked this site because it was quarantined at
         // plan time.  Re-admission is deterministic: the first match
         // attempt after the breaker closes sees it as a full candidate
@@ -535,7 +727,7 @@ std::vector<const SiteView*> ResourceBroker::admissible(const Pending& p,
     }
     // Candidates missing from the view (GRIS outage past TTL) may return;
     // treat them as deferred rather than gone.
-    if (found < p.spec.candidates.size()) *any_deferred = true;
+    if (found < p.candidate_distinct) *any_deferred = true;
   }
   return out;
 }
@@ -562,8 +754,9 @@ void ResourceBroker::record_match(const Pending& p, const SiteView& site,
 
 void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
   const Time now = sim_.now();
+  const RankPass pass = begin_pass(p->spec, now);
   bool any_deferred = false;
-  const auto pool = admissible(*p, now, &any_deferred);
+  const auto pool = admissible(*p, now, pass, &any_deferred);
 
   if (pool.empty()) {
     if (any_deferred) {
@@ -633,23 +826,31 @@ void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
   // after a transient failure rank freely, since the failure already
   // broke the co-location.
   if (!p->gang_site.empty()) {
+    const core::SiteId pin = ids_->sites.find(p->gang_site);
     for (const SiteView* s : pool) {
-      if (s->site == p->gang_site) {
+      if (s->id == pin) {
         picked = s;
-        score = effective_score(p->spec, *s, now);
+        score = effective_score(p->spec, *s, now, pass);
         break;
       }
     }
     p->gang_site.clear();
   }
-  if (picked == nullptr) picked = rank_and_pick(p->spec, pool, now, &score);
+  if (picked == nullptr) {
+    picked = rank_and_pick(p->spec, pool, now, pass, &score);
+  }
   record_match(*p, *picked, score, pool.size());
 
   p->bound_site = picked->site;
-  ++inflight_[picked->site];
-  inflight_staging_[picked->site] +=
+  p->bound_id = picked->id;
+  ++inflight_.at_or_grow(picked->id);
+  inflight_staging_.at_or_grow(picked->id) +=
       gram::staging_load_factor(p->spec.stage_in, p->spec.stage_out);
-  gram::Gatekeeper* gk = gatekeepers_.gatekeeper(picked->site);
+  // The binding changed the site's net free slots: cached policy scores
+  // there are stale for every spec class.
+  mark_rank_dirty(picked->id);
+  gram::Gatekeeper* gk =
+      picked->gk != nullptr ? picked->gk : gatekeepers_.gatekeeper(picked->site);
   auto self = p;
   condor_g_.submit_to(*gk, p->job, [this, self](const gram::GramResult& r) {
     on_result(self, r);
@@ -658,14 +859,13 @@ void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
 
 void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
                                const gram::GramResult& r) {
-  if (auto it = inflight_.find(p->bound_site); it != inflight_.end()) {
-    if (--it->second <= 0) inflight_.erase(it);
-  }
-  if (auto it = inflight_staging_.find(p->bound_site);
-      it != inflight_staging_.end()) {
-    it->second -=
-        gram::staging_load_factor(p->spec.stage_in, p->spec.stage_out);
-    if (it->second <= 1e-9) inflight_staging_.erase(it);
+  if (p->bound_id.valid()) {
+    if (int& n = inflight_.at_or_grow(p->bound_id); n > 0) --n;
+    double& s = inflight_staging_.at_or_grow(p->bound_id);
+    s -= gram::staging_load_factor(p->spec.stage_in, p->spec.stage_out);
+    if (s <= 1e-9) s = 0.0;  // clamp drift exactly as the erase did
+    // The freed slot invalidates the site's cached policy scores.
+    mark_rank_dirty(p->bound_id);
   }
   // A slot freed: give held jobs a prompt re-match.
   if (!waiting_.empty() && !kick_scheduled_) {
@@ -824,6 +1024,10 @@ void ResourceBroker::retry_held(const std::shared_ptr<Pending>& p) {
 }
 
 void ResourceBroker::on_site_quarantined(const std::string& site) {
+  // Health transitions invalidate the site's cached rank terms (the
+  // breaker outcome may coincide with load/lease changes the cache has
+  // not seen).
+  mark_rank_dirty(site);
   // Held jobs were mostly deferred by saturation elsewhere; with a site
   // freshly removed the distribution changed, so re-match them promptly
   // (and jobs bound for the quarantined site re-rank elsewhere).
@@ -851,6 +1055,13 @@ void ResourceBroker::on_site_quarantined(const std::string& site) {
     }
     ++it;
   }
+}
+
+void ResourceBroker::on_site_readmitted(const std::string& site) {
+  // Re-admission only touches the cache: deferred jobs re-probe on
+  // their own hold timers, so scheduling a kick here would perturb
+  // established event streams for no admission-latency gain.
+  mark_rank_dirty(site);
 }
 
 void ResourceBroker::kick_waiting() {
@@ -927,6 +1138,8 @@ bool ResourceBroker::ensure_lease(Pending& p, Time now) {
   }
   p.lease = res.lease;
   p.resolved_se = res.site;
+  // The lease consumed SE headroom the cached rank terms may reflect.
+  mark_rank_dirty(res.site);
   p.job.stage_out_srm = ledger_->srm_for(res.lease);
   if (const placement::StageOutLease* l = ledger_->find(res.lease)) {
     p.job.stage_out_reservation = l->reservation;
@@ -951,6 +1164,8 @@ void ResourceBroker::drop_lease(Pending& p, bool consumed) {
     } else {
       ledger_->release(p.lease, sim_.now());
     }
+    // Returned (or consumed) SE space: invalidate the SE's cached terms.
+    mark_rank_dirty(p.resolved_se);
   }
   p.lease = 0;
   p.job.stage_out_srm = nullptr;

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "broker/rank_policy.h"
+#include "core/ids.h"
 #include "gram/condor_g.h"
 #include "health/health.h"
 #include "mds/giis.h"
@@ -102,6 +103,14 @@ struct BrokerConfig {
   /// job's staged input physically sits): consumers chase their data.
   /// 1.0 disables the affinity.
   double source_affinity = 4.0;
+  /// Incremental rank maintenance: cache each site's policy score and
+  /// eligibility per spec class and invalidate by delta events (view
+  /// refresh, in-flight binding changes, lease and health transitions)
+  /// instead of re-scoring every candidate on every match.  Cached and
+  /// fresh scores are bit-identical by construction, so match logs do
+  /// not change; false forces the full per-match rescore (the
+  /// equivalence baseline).
+  bool incremental_rank = true;
   std::uint64_t rng_seed = 0xb20ce5;
 };
 
@@ -269,6 +278,23 @@ class ResourceBroker {
   /// core::Grid3::attach_health.
   void on_site_quarantined(const std::string& site);
 
+  /// A quarantined site was re-admitted: invalidate its cached rank
+  /// state so the next match re-scores it fresh.  Wired to the
+  /// monitor's readmit observer by core::Grid3::attach_health.
+  void on_site_readmitted(const std::string& site);
+
+  /// Share an id registry (normally core::Grid3's, so every VO broker
+  /// agrees on one site numbering).  Must be called before the first
+  /// view refresh; by default the broker owns a private registry.
+  void set_id_registry(std::shared_ptr<core::IdRegistry> ids);
+  [[nodiscard]] const std::shared_ptr<core::IdRegistry>& id_registry() const {
+    return ids_;
+  }
+  /// Interned id of a site name (invalid = never seen by this registry).
+  [[nodiscard]] core::SiteId site_id(const std::string& site) const {
+    return ids_->sites.find(site);
+  }
+
   /// Publish match/hold/rebind counters on the bus under `label` (the VO
   /// name) so MDViewer can plot broker activity next to gatekeeper load.
   void set_metric_bus(monitoring::MetricBus* bus, std::string label) {
@@ -295,7 +321,19 @@ class ResourceBroker {
   /// Gangs placed (whole or split) and the subset that had to split.
   [[nodiscard]] std::uint64_t gang_matches() const { return gang_matches_; }
   [[nodiscard]] std::uint64_t gang_splits() const { return gang_splits_; }
+  /// Rank passes (one candidate-ordering each: per-job matches, choose
+  /// calls, gang matches).
+  [[nodiscard]] std::uint64_t match_cycles() const { return match_cycles_; }
+  /// Fresh policy-score evaluations vs. rank-cache hits: the ratio is
+  /// the incremental engine's work saved.
+  [[nodiscard]] std::uint64_t rank_evals() const { return rank_evals_; }
+  [[nodiscard]] std::uint64_t rank_cache_hits() const {
+    return rank_cache_hits_;
+  }
   [[nodiscard]] int inflight(const std::string& site) const;
+  [[nodiscard]] int inflight(core::SiteId site) const {
+    return inflight_.get(site, 0);
+  }
   /// Gang-scoped lease ids still held (model-checker introspection: the
   /// gang invariant cross-checks these against the ledger's active set).
   [[nodiscard]] std::vector<placement::LeaseId> live_gang_leases() const;
@@ -329,6 +367,7 @@ class ResourceBroker {
     int holds = 0;
     std::map<std::string, Time> excluded_until;  ///< per-job cool-off
     std::string bound_site;
+    core::SiteId bound_id;  ///< interned bound_site (in-flight bookkeeping)
     gram::GramResult last;  ///< last transient failure, for exhaustion
     placement::LeaseId lease = 0;  ///< active stage-out lease (0 = none)
     /// SE the active lease resolved to (chain head unless the ledger
@@ -342,15 +381,87 @@ class ResourceBroker {
     /// Site the gang placement assigned: the first match is pinned here
     /// when the site is still admissible; later re-matches rank freely.
     std::string gang_site;
+    /// Interned membership sets for spec.candidates /
+    /// spec.deferred_candidates, built on the first match attempt: the
+    /// per-view-site `std::find` over the name lists becomes an O(1)
+    /// bitset test.
+    core::IdBitset candidate_bits;
+    core::IdBitset deferred_bits;
+    std::size_t candidate_distinct = 0;  ///< distinct candidate names
+    bool bits_built = false;
+  };
+
+  /// One site's cached rank terms for one spec class.  `clean` stamps
+  /// the site's dirt counter at compute time; a delta event bumps the
+  /// counter and thereby invalidates only the affected site.
+  struct RankEntry {
+    std::uint64_t clean = 0;
+    double policy_score = 0.0;
+    bool has_score = false;
+    bool eligible = false;
+    bool has_elig = false;
+  };
+
+  /// Dense per-site cache column for one spec-class signature, valid
+  /// for one view epoch.  A handful of columns cover the concurrently
+  /// active spec classes (per-VO campaigns are homogeneous); misses
+  /// recycle the oldest column.
+  struct RankColumn {
+    std::uint64_t sig = 0;
+    std::uint64_t epoch = 0;
+    bool valid = false;
+    core::IdMap<core::SiteId, RankEntry> entries;
+  };
+
+  /// Per-pass context computed once per candidate ordering (one
+  /// try_match / choose / match_gang call): the spec-class signature,
+  /// the resolved cache column, whether score caching applies, the
+  /// hoisted chain-headroom factor (site-independent, so identical for
+  /// every candidate), and the interned source-affinity site.
+  struct RankPass {
+    std::uint64_t sig = 0;
+    RankColumn* col = nullptr;  ///< null = eligibility/score caching off
+    bool cache = false;         ///< policy-score caching applies
+    double chain = 1.0;
+    core::SiteId source;
   };
 
   void refresh_view(Time now);
   /// Admissible = eligible ∩ not cooled-off ∩ not throttled.
   [[nodiscard]] std::vector<const SiteView*> admissible(
-      const Pending& p, Time now, bool* any_deferred);
+      Pending& p, Time now, const RankPass& pass, bool* any_deferred);
   [[nodiscard]] const SiteView* rank_and_pick(
       const JobSpec& spec, const std::vector<const SiteView*>& sites,
-      Time now, double* chosen_score);
+      Time now, const RankPass& pass, double* chosen_score);
+  /// Open a candidate ordering: refreshes the view, computes the spec
+  /// signature, resolves the cache column, hoists chain_headroom, and
+  /// counts a match cycle.
+  [[nodiscard]] RankPass begin_pass(const JobSpec& spec, Time now);
+  /// Deterministic hash of every spec field the cached terms read.
+  [[nodiscard]] std::uint64_t spec_signature(const JobSpec& spec) const;
+  /// Cache column for `sig` under the current view epoch, recycling the
+  /// oldest on miss.  Pointers stay valid until the column is recycled.
+  [[nodiscard]] RankColumn* resolve_column(std::uint64_t sig);
+  /// meets_requirements through the eligibility cache (null column =
+  /// uncached).
+  [[nodiscard]] bool eligible_in(const JobSpec& spec, const SiteView& v,
+                                 RankColumn* col);
+  /// Policy score net of the broker's own in-flight bindings (the term
+  /// the rank cache stores).
+  [[nodiscard]] double policy_term(const JobSpec& spec, const SiteView& site,
+                                   Time now) const;
+  /// policy_term through the rank cache (bit-identical to a fresh
+  /// evaluation; recomputes when the site's dirt counter moved).
+  [[nodiscard]] double cached_policy_term(const JobSpec& spec,
+                                          const SiteView& site,
+                                          RankColumn* col, bool cache,
+                                          Time now);
+  /// Bump a site's dirt counter: cached scores there recompute on next
+  /// use.  O(1); no fan-out over spec classes or other sites.
+  void mark_rank_dirty(core::SiteId site);
+  void mark_rank_dirty(const std::string& site);
+  /// Build a Pending's candidate/deferred bitsets once.
+  void build_candidate_bits(Pending& p);
   void try_match(const std::shared_ptr<Pending>& p);
   void on_result(const std::shared_ptr<Pending>& p,
                  const gram::GramResult& r);
@@ -376,10 +487,13 @@ class ResourceBroker {
   [[nodiscard]] bool meets_requirements(const JobSpec& spec,
                                         const SiteView& site) const;
   /// Policy score adjusted for the broker's own in-flight bindings
-  /// (free CPUs the view has not seen consumed yet) and the
-  /// source-site data affinity.
+  /// (free CPUs the view has not seen consumed yet), the placement
+  /// factors, and the source-site data affinity.  Served from the rank
+  /// cache when the pass allows it; cached and fresh values are
+  /// bit-identical.
   [[nodiscard]] double effective_score(const JobSpec& spec,
-                                       const SiteView& site, Time now) const;
+                                       const SiteView& site, Time now,
+                                       const RankPass& pass);
   /// Stage-out headroom of the spec's archive failover chain: the best
   /// drain-credited score among admissible (non-quarantined) chain SEs
   /// present in the view.  Constant across execution-site candidates,
@@ -405,13 +519,30 @@ class ResourceBroker {
   std::string bus_label_;
   util::Rng rng_;
 
+  /// Site interner (shared with core::Grid3 when attached there).
+  std::shared_ptr<core::IdRegistry> ids_;
+
   std::vector<SiteView> view_;
+  /// Interned id -> index into the name-sorted view_ (-1 = absent).
+  core::IdMap<core::SiteId, std::int32_t> view_index_;
+  /// Bumped per refresh; every cache column keyed off an older epoch is
+  /// stale.
+  std::uint64_t view_epoch_ = 0;
   Time view_refreshed_;
   bool view_valid_ = false;
 
-  std::map<std::string, int> inflight_;
+  core::IdMap<core::SiteId, int> inflight_;
   /// Per-site sum of in-flight staging factors (predicted-load input).
-  std::map<std::string, double> inflight_staging_;
+  core::IdMap<core::SiteId, double> inflight_staging_;
+  /// Per-site dirt counters: bumped by delta events (binding changes,
+  /// lease resolution, health transitions); cached rank terms stamp the
+  /// value they were computed under.
+  core::IdMap<core::SiteId, std::uint64_t> rank_dirt_;
+  /// Spec-class score/eligibility cache columns (small ring).
+  std::vector<RankColumn> rank_columns_;
+  std::size_t next_column_ = 0;
+  /// Scratch bitset for choose() candidate lists.
+  core::IdBitset scratch_bits_;
   std::deque<std::shared_ptr<Pending>> waiting_;
   bool kick_scheduled_ = false;
   bool mc_seed_stale_hold_release_ = false;
@@ -428,6 +559,9 @@ class ResourceBroker {
   std::uint64_t submissions_ = 0;
   std::uint64_t gang_matches_ = 0;
   std::uint64_t gang_splits_ = 0;
+  std::uint64_t match_cycles_ = 0;
+  std::uint64_t rank_evals_ = 0;
+  std::uint64_t rank_cache_hits_ = 0;
 };
 
 }  // namespace grid3::broker

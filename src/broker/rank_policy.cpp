@@ -37,9 +37,9 @@ double DataLocalityPolicy::score(const JobSpec& job, const SiteView& site,
   double local_inputs = 0.0;
   if (job.rls != nullptr) {
     for (const std::string& lfn : job.data_inputs) {
-      const auto replicas = job.rls->locate(lfn, now);
-      if (std::any_of(replicas.begin(), replicas.end(),
-                      [&](const auto& r) { return r.first == site.site; })) {
+      // Membership probe, not locate(): scoring V sites x K inputs per
+      // match must not materialise V*K replica lists.
+      if (job.rls->has_replica_at(lfn, site.site, now)) {
         local_inputs += 1.0;
       }
     }

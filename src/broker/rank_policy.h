@@ -17,8 +17,13 @@
 #include <string>
 
 #include "broker/job_spec.h"
+#include "core/ids.h"
 #include "mds/giis.h"
 #include "util/units.h"
+
+namespace grid3::gram {
+class Gatekeeper;
+}  // namespace grid3::gram
 
 namespace grid3::broker {
 
@@ -26,6 +31,14 @@ namespace grid3::broker {
 /// snapshot plus MonALISA/Ganglia load metrics.
 struct SiteView {
   std::string site;
+  /// Interned id in the broker's site registry (stable registration
+  /// order across view refreshes; hot paths index by this, never by
+  /// the name).
+  core::SiteId id;
+  /// Gatekeeper resolved at view-refresh time.  Null means the site had
+  /// no gatekeeper when the view was built; the broker re-checks null
+  /// entries live, so a gatekeeper arriving mid-TTL is still found.
+  gram::Gatekeeper* gk = nullptr;
   bool fresh = false;        ///< GIIS snapshot within TTL
   int total_cpus = 0;
   int free_cpus = 0;
@@ -57,6 +70,13 @@ class RankPolicy {
   /// Stochastic policies are sampled by score weight (the status-quo
   /// behaviour); deterministic policies take the argmax.
   [[nodiscard]] virtual bool stochastic() const { return false; }
+  /// Cacheable scores are pure functions of (job spec, site view): the
+  /// broker's incremental rank cache may reuse them until the view
+  /// refreshes or a delta event (in-flight binding, lease, health
+  /// transition) dirties the site.  Policies that consult state outside
+  /// the view -- DataLocalityPolicy's time-sensitive RLS lookups --
+  /// must return false and are re-scored every match.
+  [[nodiscard]] virtual bool cacheable() const { return true; }
 };
 
 /// Status quo: static favorite-site weights, weighted-random draw.
@@ -85,6 +105,9 @@ class DataLocalityPolicy final : public RankPolicy {
   [[nodiscard]] const char* name() const override { return "data-locality"; }
   [[nodiscard]] double score(const JobSpec& job, const SiteView& site,
                              Time now) const override;
+  /// Replica sets evolve between view refreshes (registrations land on
+  /// job completion), so a cached score could diverge from a fresh one.
+  [[nodiscard]] bool cacheable() const override { return false; }
 
  private:
   double locality_weight_;

@@ -103,6 +103,9 @@ broker::ResourceBroker& Grid3::attach_broker(const std::string& vo_name,
   svc.broker = std::make_unique<broker::ResourceBroker>(
       sim_, cfg, std::move(policy), igoc_.top_giis(), &igoc_.ml_repository(),
       *this, condor_g_, &igoc_.job_db());
+  // Every VO broker shares the fabric's interners, so site ids agree
+  // across brokers, health, and the fabric's own site index.
+  svc.broker->set_id_registry(ids_);
   svc.broker->set_metric_bus(&igoc_.bus(), vo_name);
   if (cfg.placement_leases) {
     svc.placement = std::make_unique<placement::PlacementLedger>(
@@ -126,6 +129,7 @@ broker::ResourceBroker& Grid3::attach_broker(const std::string& vo_name,
 health::SiteHealthMonitor& Grid3::attach_health(health::HealthConfig cfg) {
   if (health_) return *health_;
   health_ = std::make_unique<health::SiteHealthMonitor>(sim_, cfg);
+  health_->set_id_registry(ids_);
   health_->set_metric_bus(&igoc_.bus());
   health_->set_accounting(&igoc_.job_db());
   health_->set_tickets(
@@ -174,6 +178,13 @@ health::SiteHealthMonitor& Grid3::attach_health(health::HealthConfig cfg) {
       if (svc.broker) svc.broker->on_site_quarantined(site);
     }
   });
+  // Re-admission fans out too: the returned site's cached rank terms
+  // recompute on the next match instead of serving pre-trip scores.
+  health_->on_readmit([this](const std::string& site) {
+    for (auto& [name, svc] : vos_) {
+      if (svc.broker) svc.broker->on_site_readmitted(site);
+    }
+  });
 
   for (auto& [name, svc] : vos_) {
     if (svc.broker) svc.broker->set_health(health_.get());
@@ -198,6 +209,7 @@ Site& Grid3::add_site(SiteConfig cfg, double reliability,
                                      ftp_client_, cfg, rng_.fork());
   Site* sp = site.get();
   sites_.push_back(std::move(site));
+  site_index_.at_or_grow(ids_->sites.intern(sp->name())) = sp;
 
   // Installation + certification via the iGOC Pacman cache.  A failed
   // certification means the admin reinstalls, as the documented Grid3
@@ -236,10 +248,7 @@ Site& Grid3::add_site(SiteConfig cfg, double reliability,
 }
 
 Site* Grid3::site(const std::string& name) {
-  for (auto& s : sites_) {
-    if (s->name() == name) return s.get();
-  }
-  return nullptr;
+  return site_index_.get(ids_->sites.find(name), nullptr);
 }
 
 ExternalHost& Grid3::add_external_host(const std::string& name,
@@ -251,6 +260,8 @@ ExternalHost& Grid3::add_external_host(const std::string& name,
   host->disk =
       std::make_unique<srm::DiskVolume>(name + ":/tape", Bytes::tb(100000));
   externals_.push_back(std::move(host));
+  external_index_.at_or_grow(ids_->sites.intern(name)) =
+      externals_.back().get();
   return *externals_.back();
 }
 
@@ -292,9 +303,10 @@ gram::Gatekeeper* Grid3::gatekeeper(const std::string& site_name) {
 }
 
 gridftp::GridFtpServer* Grid3::ftp(const std::string& site_name) {
-  if (Site* s = site(site_name)) return &s->ftp();
-  for (auto& host : externals_) {
-    if (host->name == site_name) return host->ftp.get();
+  const SiteId id = ids_->sites.find(site_name);
+  if (Site* s = site_index_.get(id, nullptr)) return &s->ftp();
+  if (ExternalHost* host = external_index_.get(id, nullptr)) {
+    return host->ftp.get();
   }
   return nullptr;
 }
@@ -305,9 +317,10 @@ srm::StorageResourceManager* Grid3::storage(const std::string& site_name) {
 }
 
 srm::DiskVolume* Grid3::volume(const std::string& site_name) {
-  if (Site* s = site(site_name)) return &s->disk();
-  for (auto& host : externals_) {
-    if (host->name == site_name) return host->disk.get();
+  const SiteId id = ids_->sites.find(site_name);
+  if (Site* s = site_index_.get(id, nullptr)) return &s->disk();
+  if (ExternalHost* host = external_index_.get(id, nullptr)) {
+    return host->disk.get();
   }
   return nullptr;
 }

@@ -15,6 +15,7 @@
 
 #include "broker/broker.h"
 #include "core/failure.h"
+#include "core/ids.h"
 #include "core/igoc.h"
 #include "core/site.h"
 #include "gram/condor_g.h"
@@ -82,6 +83,13 @@ class Grid3 final : public workflow::SiteServices,
     return sites_;
   }
   [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+  /// The fabric-wide id registry: every broker and the health monitor
+  /// attached here share it, so interned site ids are comparable across
+  /// subsystems.
+  [[nodiscard]] const std::shared_ptr<IdRegistry>& id_registry() const {
+    return ids_;
+  }
 
   /// External archive endpoint (CERN, LIGO observatories...).
   ExternalHost& add_external_host(const std::string& name,
@@ -177,6 +185,14 @@ class Grid3 final : public workflow::SiteServices,
   std::map<std::string, VoServices> vos_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<std::unique_ptr<ExternalHost>> externals_;
+  /// Fabric-wide interners shared with brokers and health.
+  std::shared_ptr<IdRegistry> ids_ = std::make_shared<IdRegistry>();
+  /// Interned site id -> Site (replaces the linear scan every
+  /// gatekeeper/ftp/volume resolution used to pay).
+  IdMap<SiteId, Site*> site_index_;
+  /// External archive hosts, interned into the same site namespace
+  /// (ftp/volume resolve either kind by name).
+  IdMap<SiteId, ExternalHost*> external_index_;
   std::vector<std::unique_ptr<sim::PeriodicProcess>> operations_;
   std::uint64_t user_serial_ = 0;
 };

@@ -1,0 +1,220 @@
+// Interned identities for the simulation's hot paths.
+//
+// Site, storage-element, VO, and service names are strings at the
+// boundaries (GIIS snapshots, ACDC records, match logs, ops tickets)
+// but inner loops -- matchmaking, health lookups, metric fan-out --
+// used to hash or compare those strings once per candidate per event.
+// An Interner maps each distinct name to a small dense id in *stable
+// registration order*: the first time a name is seen it gets the next
+// index, and the mapping never changes afterwards.  Registration order
+// is itself deterministic (driven by the simulation's deterministic
+// event order), so converting a container from string keys to interned
+// ids cannot reorder any iteration that previously ran in insertion
+// order, and code that needs name order keeps sorting explicitly --
+// byte-identical logs stay byte-identical.
+//
+// The typed wrappers (SiteId/SeId/VoId/ServiceId) make it a compile
+// error to index a site table with a VO id.  Ids from different
+// Interner instances are not comparable in any meaningful way; the
+// shared IdRegistry exists so that the subsystems wired together by
+// core::Grid3 agree on one numbering.
+//
+// Header-only and dependency-free on purpose: low layers (health,
+// monitoring) include it without gaining a link dependency.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace grid3::core {
+
+/// Strongly-typed dense id.  `Tag` only disambiguates the type; the
+/// value is an index into the owning Interner's registration order.
+template <class Tag>
+class InternedId {
+ public:
+  static constexpr std::uint32_t kInvalidValue = 0xffffffffu;
+
+  constexpr InternedId() = default;
+  constexpr explicit InternedId(std::uint32_t value) : value_{value} {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != kInvalidValue;
+  }
+  [[nodiscard]] static constexpr InternedId invalid() { return {}; }
+
+  friend constexpr bool operator==(InternedId a, InternedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(InternedId a, InternedId b) {
+    return a.value_ != b.value_;
+  }
+  /// Orders by registration order (useful for deterministic id-sorted
+  /// sweeps; name order still requires an explicit sort by name()).
+  friend constexpr bool operator<(InternedId a, InternedId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  std::uint32_t value_ = kInvalidValue;
+};
+
+struct SiteTag {};
+struct SeTag {};
+struct VoTag {};
+struct ServiceTag {};
+
+using SiteId = InternedId<SiteTag>;     ///< execution site / gatekeeper host
+using SeId = InternedId<SeTag>;         ///< storage element
+using VoId = InternedId<VoTag>;         ///< virtual organisation
+using ServiceId = InternedId<ServiceTag>;  ///< named service / metric label
+
+/// String -> dense id mapping in stable first-seen order.  Names are
+/// never removed; `name(id)` stays valid for the interner's lifetime.
+template <class Id>
+class Interner {
+ public:
+  /// Id for `name`, registering it at the next index if unseen.
+  Id intern(std::string_view name) {
+    if (auto it = index_.find(name); it != index_.end()) {
+      return Id{it->second};
+    }
+    const auto value = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), value);
+    return Id{value};
+  }
+
+  /// Id for `name` if already registered; invalid otherwise.
+  [[nodiscard]] Id find(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? Id::invalid() : Id{it->second};
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return index_.find(name) != index_.end();
+  }
+
+  [[nodiscard]] const std::string& name(Id id) const {
+    assert(id.valid() && id.value() < names_.size());
+    return names_[id.value()];
+  }
+
+  /// Registered names in registration (id) order.
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>>
+      index_;
+};
+
+/// Dense id-indexed map that grows on write.  Reads of ids never
+/// written (or the invalid id) return a default value, so callers need
+/// no presence checks on the hot path.
+template <class Id, class V>
+class IdMap {
+ public:
+  /// Mutable slot for `id`, growing the table as needed.
+  V& at_or_grow(Id id) {
+    assert(id.valid());
+    if (id.value() >= values_.size()) values_.resize(id.value() + 1);
+    return values_[id.value()];
+  }
+
+  /// Value for `id`, or `fallback` when unset / invalid.
+  [[nodiscard]] V get(Id id, V fallback = V{}) const {
+    if (!id.valid() || id.value() >= values_.size()) return fallback;
+    return values_[id.value()];
+  }
+
+  [[nodiscard]] const V* find(Id id) const {
+    if (!id.valid() || id.value() >= values_.size()) return nullptr;
+    return &values_[id.value()];
+  }
+
+  void assign(std::size_t n, const V& v) { values_.assign(n, v); }
+  void clear() { values_.clear(); }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<V> values_;
+};
+
+/// Dynamic bitset over interned-id values: O(1) membership instead of
+/// a linear `std::find` over a name list.
+class IdBitset {
+ public:
+  void set(std::uint32_t value) {
+    const std::size_t word = value >> 6;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    words_[word] |= std::uint64_t{1} << (value & 63);
+  }
+  template <class Tag>
+  void set(InternedId<Tag> id) {
+    assert(id.valid());
+    set(id.value());
+  }
+
+  [[nodiscard]] bool test(std::uint32_t value) const {
+    const std::size_t word = value >> 6;
+    if (word >= words_.size()) return false;
+    return (words_[word] >> (value & 63)) & 1;
+  }
+  template <class Tag>
+  [[nodiscard]] bool test(InternedId<Tag> id) const {
+    return id.valid() && test(id.value());
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) {
+      n += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  void clear() { words_.clear(); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// The four interners the grid's subsystems share.  core::Grid3 owns
+/// one and hands it to every broker it attaches, so VO brokers agree
+/// on site numbering; standalone subsystems (unit tests, ad-hoc
+/// benches) default to a private registry and lose nothing but
+/// cross-subsystem id equality.
+struct IdRegistry {
+  Interner<SiteId> sites;
+  Interner<SeId> storage;
+  Interner<VoId> vos;
+  Interner<ServiceId> services;
+};
+
+}  // namespace grid3::core

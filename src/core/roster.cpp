@@ -108,8 +108,24 @@ std::vector<SiteConfig> grid3_roster(double cpu_scale) {
   return roster;
 }
 
+std::vector<SiteConfig> replicate_roster(std::vector<SiteConfig> base,
+                                         int replicas) {
+  if (replicas <= 1) return base;
+  const std::size_t templates = base.size();
+  base.reserve(templates * static_cast<std::size_t>(replicas));
+  for (int r = 1; r < replicas; ++r) {
+    for (std::size_t i = 0; i < templates; ++i) {
+      SiteConfig cfg = base[i];
+      cfg.name += "_R" + std::to_string(r);
+      base.push_back(std::move(cfg));
+    }
+  }
+  return base;
+}
+
 std::vector<std::string> application_sites(
-    const std::string& app_name, const std::vector<SiteConfig>& roster) {
+    const std::string& app_name, const std::vector<SiteConfig>& roster,
+    std::size_t replicas) {
   // Per-VO "Grid3 Sites Used" (Table 1): owner-VO sites first, then fill
   // with other sites in roster order up to the target count.
   struct Plan {
@@ -133,13 +149,14 @@ std::vector<std::string> application_sites(
   }
   std::vector<std::string> out;
   if (plan == nullptr) return out;
+  const std::size_t count = plan->count * std::max<std::size_t>(1, replicas);
   for (const SiteConfig& cfg : roster) {
-    if (cfg.owner_vo == plan->vo && out.size() < plan->count) {
+    if (cfg.owner_vo == plan->vo && out.size() < count) {
       out.push_back(cfg.name);
     }
   }
   for (const SiteConfig& cfg : roster) {
-    if (out.size() >= plan->count) break;
+    if (out.size() >= count) break;
     if (std::find(out.begin(), out.end(), cfg.name) == out.end()) {
       out.push_back(cfg.name);
     }
@@ -193,7 +210,8 @@ Assembled assemble_grid3(Grid3& grid, const AssembleOptions& opts) {
                                     Time::minutes(20));
   }
 
-  const auto roster = grid3_roster(opts.cpu_scale);
+  const auto roster =
+      replicate_roster(grid3_roster(opts.cpu_scale), opts.roster_replicas);
   for (const SiteConfig& cfg : roster) {
     const double reliability = grid.rng().uniform(opts.min_reliability,
                                                   opts.max_reliability);
@@ -202,12 +220,14 @@ Assembled assemble_grid3(Grid3& grid, const AssembleOptions& opts) {
   }
 
   if (opts.install_applications) {
+    const auto replicas =
+        static_cast<std::size_t>(std::max(1, opts.roster_replicas));
     for (const char* app_name :
          {app::kAtlasGce, app::kCmsMop, app::kSdssCoadd, app::kLigoPulsar,
           app::kBtevSim, app::kSnb, app::kGadu, app::kExerciser,
           app::kEntrada, app::kNetloggerFtp}) {
       for (const std::string& site_name :
-           application_sites(app_name, roster)) {
+           application_sites(app_name, roster, replicas)) {
         if (Site* s = grid.site(site_name)) {
           s->install_application(grid.igoc().pacman_cache(), app_name);
         }

@@ -36,6 +36,13 @@ inline constexpr const char* kNetloggerFtp = "netlogger-gridftp";
 
 struct AssembleOptions {
   double cpu_scale = 1.0;
+  /// Fabric replication factor: 1 = the historical 27-site roster;
+  /// N > 1 appends N-1 renamed copies of every roster template
+  /// ("<name>_R1", "<name>_R2", ...) -- the "Grid30" 10x-scale fabric
+  /// (270 sites, ~29k CPUs at cpu_scale 1).  Application install
+  /// counts scale with the replica count so per-VO site pools keep
+  /// their Table 1 proportions.
+  int roster_replicas = 1;
   /// Sites flakier than nominal by this reliability factor band.
   double min_reliability = 0.7;
   double max_reliability = 2.0;
@@ -64,9 +71,14 @@ struct Assembled {
 Assembled assemble_grid3(Grid3& grid, const AssembleOptions& opts = {});
 
 /// Sites (by roster position) hosting a given application, sized to the
-/// per-VO "Grid3 Sites Used" counts of Table 1.
+/// per-VO "Grid3 Sites Used" counts of Table 1 (times `replicas` on a
+/// replicated fabric, so install density tracks the fabric scale).
 [[nodiscard]] std::vector<std::string> application_sites(
     const std::string& app_name,
-    const std::vector<SiteConfig>& roster);
+    const std::vector<SiteConfig>& roster, std::size_t replicas = 1);
+
+/// `base` plus `replicas - 1` renamed copies of every template.
+[[nodiscard]] std::vector<SiteConfig> replicate_roster(
+    std::vector<SiteConfig> base, int replicas);
 
 }  // namespace grid3::core

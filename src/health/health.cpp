@@ -24,9 +24,33 @@ const char* to_string(BreakerState s) {
   return "?";
 }
 
+SiteHealthMonitor::Breaker& SiteHealthMonitor::breaker_for(
+    const std::string& site) {
+  const core::SiteId id = ids_->sites.intern(site);
+  if (id.value() >= breakers_.size()) breakers_.resize(id.value() + 1);
+  Breaker& b = breakers_[id.value()];
+  b.live = true;
+  return b;
+}
+
+SiteHealthMonitor::Breaker* SiteHealthMonitor::find_breaker(
+    const std::string& site) {
+  const core::SiteId id = ids_->sites.find(site);
+  if (!id.valid() || id.value() >= breakers_.size()) return nullptr;
+  Breaker& b = breakers_[id.value()];
+  return b.live ? &b : nullptr;
+}
+
+const SiteHealthMonitor::Breaker* SiteHealthMonitor::find_breaker(
+    core::SiteId site) const {
+  if (!site.valid() || site.value() >= breakers_.size()) return nullptr;
+  const Breaker& b = breakers_[site.value()];
+  return b.live ? &b : nullptr;
+}
+
 void SiteHealthMonitor::report(const std::string& site, Service service,
                                bool ok, Time now) {
-  Breaker& b = breakers_[site];
+  Breaker& b = breaker_for(site);
   ServiceScore& s = b.scores[static_cast<std::size_t>(service)];
   s.ewma = (1.0 - cfg_.ewma_alpha) * s.ewma + cfg_.ewma_alpha * (ok ? 0.0 : 1.0);
   ++s.samples;
@@ -99,9 +123,9 @@ void SiteHealthMonitor::trip(const std::string& site, Breaker& b,
 
 void SiteHealthMonitor::enter_half_open(const std::string& site,
                                         std::uint64_t epoch) {
-  auto it = breakers_.find(site);
-  if (it == breakers_.end()) return;
-  Breaker& b = it->second;
+  Breaker* found = find_breaker(site);
+  if (found == nullptr) return;
+  Breaker& b = *found;
   if (b.state != BreakerState::kOpen || b.epoch != epoch) return;
   b.state = BreakerState::kHalfOpen;
   b.probe_successes = 0;
@@ -118,9 +142,9 @@ void SiteHealthMonitor::launch_probe(const std::string& site,
 
 void SiteHealthMonitor::on_probe(const std::string& site, std::uint64_t epoch,
                                  bool ok) {
-  auto it = breakers_.find(site);
-  if (it == breakers_.end()) return;
-  Breaker& b = it->second;
+  Breaker* found = find_breaker(site);
+  if (found == nullptr) return;
+  Breaker& b = *found;
   if (b.state != BreakerState::kHalfOpen || b.epoch != epoch) return;
   const Time now = sim_.now();
   ++b.probes;
@@ -137,10 +161,9 @@ void SiteHealthMonitor::on_probe(const std::string& site, std::uint64_t epoch,
     return;
   }
   sim_.schedule_in(cfg_.probe_interval, [this, site, epoch] {
-    auto jt = breakers_.find(site);
-    if (jt == breakers_.end()) return;
-    if (jt->second.state != BreakerState::kHalfOpen ||
-        jt->second.epoch != epoch) {
+    const Breaker* again = find_breaker(site);
+    if (again == nullptr || again->state != BreakerState::kHalfOpen ||
+        again->epoch != epoch) {
       return;
     }
     launch_probe(site, epoch);
@@ -172,14 +195,22 @@ void SiteHealthMonitor::readmit(const std::string& site, Breaker& b,
 }
 
 BreakerState SiteHealthMonitor::state(const std::string& site) const {
-  auto it = breakers_.find(site);
-  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+  return state(ids_->sites.find(site));
+}
+
+BreakerState SiteHealthMonitor::state(core::SiteId site) const {
+  const Breaker* b = find_breaker(site);
+  return b == nullptr ? BreakerState::kClosed : b->state;
 }
 
 bool SiteHealthMonitor::quarantined(const std::string& site) const {
-  auto it = breakers_.find(site);
-  if (it == breakers_.end()) return false;
-  switch (it->second.state) {
+  return quarantined(ids_->sites.find(site));
+}
+
+bool SiteHealthMonitor::quarantined(core::SiteId site) const {
+  const Breaker* b = find_breaker(site);
+  if (b == nullptr) return false;
+  switch (b->state) {
     case BreakerState::kOpen:
       return true;
     case BreakerState::kHalfOpen:
@@ -194,9 +225,26 @@ bool SiteHealthMonitor::quarantined(const std::string& site) const {
 
 double SiteHealthMonitor::score(const std::string& site,
                                 Service service) const {
-  auto it = breakers_.find(site);
-  if (it == breakers_.end()) return 0.0;
-  return it->second.scores[static_cast<std::size_t>(service)].ewma;
+  return score(ids_->sites.find(site), service);
+}
+
+double SiteHealthMonitor::score(core::SiteId site, Service service) const {
+  const Breaker* b = find_breaker(site);
+  if (b == nullptr) return 0.0;
+  return b->scores[static_cast<std::size_t>(service)].ewma;
+}
+
+std::vector<std::string> SiteHealthMonitor::sites() const {
+  std::vector<std::string> out;
+  out.reserve(breakers_.size());
+  for (std::size_t i = 0; i < breakers_.size(); ++i) {
+    if (breakers_[i].live) {
+      out.push_back(ids_->sites.name(core::SiteId{
+          static_cast<std::uint32_t>(i)}));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void SiteHealthMonitor::record(const std::string& site,

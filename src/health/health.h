@@ -35,12 +35,15 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/ids.h"
 #include "monitoring/acdc.h"
 #include "monitoring/bus.h"
 #include "monitoring/troubleshoot.h"
@@ -144,6 +147,18 @@ class SiteHealthMonitor {
   void on_readmit(SiteObserver f) {
     readmit_observers_.push_back(std::move(f));
   }
+  /// Share an id registry (normally core::Grid3's, so health and the
+  /// brokers agree on one site numbering).  Must be called before the
+  /// first report; by default the monitor owns a private registry.
+  void set_id_registry(std::shared_ptr<core::IdRegistry> ids) {
+    assert(ids != nullptr);
+    assert(breakers_.empty() &&
+           "share the registry before breakers exist");
+    ids_ = std::move(ids);
+  }
+  [[nodiscard]] const std::shared_ptr<core::IdRegistry>& id_registry() const {
+    return ids_;
+  }
 
   // --- feedback -------------------------------------------------------
   /// One service outcome at a site.  Failures push the (site, service)
@@ -161,23 +176,23 @@ class SiteHealthMonitor {
 
   // --- queries --------------------------------------------------------
   [[nodiscard]] BreakerState state(const std::string& site) const;
+  [[nodiscard]] BreakerState state(core::SiteId site) const;
   /// True when the broker must exclude the site: open, or half-open
   /// while a probe submitter owns re-certification.
   [[nodiscard]] bool quarantined(const std::string& site) const;
+  [[nodiscard]] bool quarantined(core::SiteId site) const;
   [[nodiscard]] double score(const std::string& site, Service service) const;
+  [[nodiscard]] double score(core::SiteId site, Service service) const;
 
   [[nodiscard]] std::uint64_t trips() const { return trips_; }
   [[nodiscard]] std::uint64_t probes() const { return probes_; }
   [[nodiscard]] std::uint64_t readmissions() const { return readmissions_; }
 
-  /// Every site a breaker exists for (model-checker introspection: the
-  /// breaker invariant sweeps these for lost-quarantine states).
-  [[nodiscard]] std::vector<std::string> sites() const {
-    std::vector<std::string> out;
-    out.reserve(breakers_.size());
-    for (const auto& [site, b] : breakers_) out.push_back(site);
-    return out;
-  }
+  /// Every site a breaker exists for, sorted by name (model-checker
+  /// introspection: the breaker invariant sweeps these for
+  /// lost-quarantine states; the explicit sort preserves the order the
+  /// old name-keyed map yielded for free).
+  [[nodiscard]] std::vector<std::string> sites() const;
   [[nodiscard]] bool has_probe_submitter() const {
     return probe_submitter_ != nullptr;
   }
@@ -215,7 +230,14 @@ class SiteHealthMonitor {
     std::uint64_t ticket = 0;             ///< open iGOC ticket (0 = none)
     std::size_t window = kNoWindow;       ///< open quarantine interval
     std::uint64_t trips = 0, probes = 0, readmissions = 0;
+    bool live = false;  ///< a report has touched this site
   };
+
+  /// Breaker slot for `site`, interning and growing the dense table.
+  Breaker& breaker_for(const std::string& site);
+  /// Existing breaker or null (no interning, no growth).
+  [[nodiscard]] Breaker* find_breaker(const std::string& site);
+  [[nodiscard]] const Breaker* find_breaker(core::SiteId site) const;
 
   void trip(const std::string& site, Breaker& b, const std::string& service,
             double score, Time now);
@@ -238,7 +260,13 @@ class SiteHealthMonitor {
   std::vector<SiteObserver> trip_observers_;
   std::vector<SiteObserver> readmit_observers_;
 
-  std::map<std::string, Breaker> breakers_;
+  /// Site interner (shared with core::Grid3 when attached there).
+  std::shared_ptr<core::IdRegistry> ids_ =
+      std::make_shared<core::IdRegistry>();
+  /// Dense breaker table indexed by interned site id.  A deque so
+  /// growth (a first report for a new site, possibly from inside an
+  /// observer callback) never invalidates the Breaker& a caller holds.
+  std::deque<Breaker> breakers_;
   std::vector<BreakerEvent> events_;
   std::vector<monitoring::IncidentWindow> windows_;
   std::uint64_t trips_ = 0;

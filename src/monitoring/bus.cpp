@@ -13,16 +13,55 @@ bool name_matches(const std::string& pattern, const std::string& name) {
   return pattern == name;
 }
 
+std::uint64_t composite(core::SiteId site, core::ServiceId name) {
+  return (static_cast<std::uint64_t>(site.value()) << 32) | name.value();
+}
+
 }  // namespace
+
+MetricBus::Entry& MetricBus::entry_for(const std::string& site,
+                                       const std::string& name) {
+  const auto key =
+      composite(site_ids_.intern(site), name_ids_.intern(name));
+  if (auto it = index_.find(key); it != index_.end()) {
+    return entries_[it->second];
+  }
+  index_.emplace(key, static_cast<std::uint32_t>(entries_.size()));
+  Entry& e = entries_.emplace_back();
+  e.site = site;
+  e.name = name;
+  return e;
+}
+
+const MetricBus::Entry* MetricBus::find_entry(const std::string& site,
+                                              const std::string& name) const {
+  const core::SiteId s = site_ids_.find(site);
+  const core::ServiceId n = name_ids_.find(name);
+  if (!s.valid() || !n.valid()) return nullptr;
+  auto it = index_.find(composite(s, n));
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+void MetricBus::rebuild_fanout(Entry& e) const {
+  e.fanout.clear();
+  for (const Subscriber& s : subscribers_) {
+    if (s.cb && name_matches(s.name, e.name) &&
+        (s.site == "*" || s.site == e.site)) {
+      e.fanout.push_back(&s);
+    }
+  }
+  e.sub_epoch = sub_epoch_;
+}
 
 void MetricBus::publish(const std::string& site, const std::string& name,
                         Time t, double value) {
   ++published_;
-  series_[{site, name}].append(t, value);
-  for (const Subscriber& s : subscribers_) {
-    if (name_matches(s.name, name) && (s.site == "*" || s.site == site)) {
-      s.cb({site, name}, t, value);
-    }
+  Entry& e = entry_for(site, name);
+  e.series.append(t, value);
+  if (e.sub_epoch != sub_epoch_) rebuild_fanout(e);
+  for (const Subscriber* s : e.fanout) {
+    // A tombstoned subscriber may linger until the next rebuild.
+    if (s->cb) s->cb({site, name}, t, value);
   }
 }
 
@@ -31,45 +70,48 @@ SubscriptionId MetricBus::subscribe(const std::string& site,
                                     MetricCallback cb) {
   const SubscriptionId id = next_sub_++;
   subscribers_.push_back({id, site, name, std::move(cb)});
+  ++sub_epoch_;
   return id;
 }
 
 void MetricBus::unsubscribe(SubscriptionId id) {
-  subscribers_.erase(
-      std::remove_if(subscribers_.begin(), subscribers_.end(),
-                     [&](const Subscriber& s) { return s.id == id; }),
-      subscribers_.end());
+  for (Subscriber& s : subscribers_) {
+    if (s.id == id) s.cb = nullptr;
+  }
+  ++sub_epoch_;
 }
 
 std::optional<util::TimePoint> MetricBus::latest(
     const std::string& site, const std::string& name) const {
-  auto it = series_.find({site, name});
-  if (it == series_.end() || it->second.empty()) return std::nullopt;
-  return it->second.points().back();
+  const Entry* e = find_entry(site, name);
+  if (e == nullptr || e->series.empty()) return std::nullopt;
+  return e->series.points().back();
 }
 
 const util::TimeSeries& MetricBus::series(const std::string& site,
                                           const std::string& name) const {
-  auto it = series_.find({site, name});
-  return it == series_.end() ? empty_ : it->second;
+  const Entry* e = find_entry(site, name);
+  return e == nullptr ? empty_ : e->series;
 }
 
 std::vector<MetricKey> MetricBus::keys_with_prefix(
     const std::string& prefix) const {
   std::vector<MetricKey> out;
-  for (const auto& [key, ts] : series_) {
-    if (key.name.compare(0, prefix.size(), prefix) == 0) {
-      out.push_back(key);
+  for (const Entry& e : entries_) {
+    if (e.name.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back({e.site, e.name});
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<std::string> MetricBus::sites_for(const std::string& name) const {
   std::vector<std::string> out;
-  for (const auto& [key, ts] : series_) {
-    if (key.name == name) out.push_back(key.site);
+  for (const Entry& e : entries_) {
+    if (e.name == name) out.push_back(e.site);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

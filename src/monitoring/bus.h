@@ -8,12 +8,15 @@
 // value / full series.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/ids.h"
 #include "util/timeseries.h"
 #include "util/units.h"
 
@@ -49,15 +52,17 @@ class MetricBus {
   [[nodiscard]] const util::TimeSeries& series(const std::string& site,
                                                const std::string& name) const;
 
-  /// All sites that ever published a given metric name.
+  /// All sites that ever published a given metric name, sorted by name
+  /// (the order the old sorted-map storage yielded for free).
   [[nodiscard]] std::vector<std::string> sites_for(
       const std::string& name) const;
 
-  /// All (site, name) keys whose name starts with `prefix`.
+  /// All (site, name) keys whose name starts with `prefix`, sorted by
+  /// (site, name).
   [[nodiscard]] std::vector<MetricKey> keys_with_prefix(
       const std::string& prefix) const;
 
-  [[nodiscard]] std::size_t key_count() const { return series_.size(); }
+  [[nodiscard]] std::size_t key_count() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t published() const { return published_; }
 
  private:
@@ -65,12 +70,40 @@ class MetricBus {
     SubscriptionId id;
     std::string site;  // "*" = wildcard
     std::string name;
-    MetricCallback cb;
+    MetricCallback cb;  // null = unsubscribed tombstone
   };
 
-  std::map<MetricKey, util::TimeSeries> series_;
-  std::vector<Subscriber> subscribers_;
+  /// One (site, name) series plus its cached subscriber fan-out.  The
+  /// fan-out list is rebuilt lazily when the subscription epoch moved,
+  /// so steady-state publishes skip the per-publish pattern scan the
+  /// old bus paid for every sample.
+  struct Entry {
+    std::string site;
+    std::string name;
+    util::TimeSeries series;
+    std::uint64_t sub_epoch = 0;  ///< 0 = fan-out never built
+    std::vector<const Subscriber*> fanout;
+  };
+
+  Entry& entry_for(const std::string& site, const std::string& name);
+  [[nodiscard]] const Entry* find_entry(const std::string& site,
+                                        const std::string& name) const;
+  void rebuild_fanout(Entry& e) const;
+
+  /// Private interners for bus keys (sites here include non-fabric
+  /// labels like VO names, so the bus does not share the grid registry).
+  core::Interner<core::SiteId> site_ids_;
+  core::Interner<core::ServiceId> name_ids_;
+  /// (site id << 32 | name id) -> index into entries_.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  /// Entries in first-publish order; a deque so growth never
+  /// invalidates references held across an append.
+  std::deque<Entry> entries_;
+  std::deque<Subscriber> subscribers_;  ///< stable; tombstoned, not erased
   SubscriptionId next_sub_ = 1;
+  /// Bumped on subscribe/unsubscribe; entries with an older stamp
+  /// rebuild their fan-out on next publish.
+  std::uint64_t sub_epoch_ = 1;
   std::uint64_t published_ = 0;
   util::TimeSeries empty_;
 };

@@ -87,6 +87,14 @@ std::vector<std::string> ReplicaLocationIndex::sites_with(
   return out;
 }
 
+bool ReplicaLocationIndex::knows(const std::string& lfn,
+                                 const std::string& site, Time now) const {
+  auto it = index_.find(lfn);
+  if (it == index_.end()) return false;
+  auto jt = it->second.find(site);
+  return jt != it->second.end() && now - jt->second <= ttl_;
+}
+
 LocalReplicaCatalog& ReplicaLocationService::lrc_for(const std::string& site) {
   auto it = lrcs_.find(site);
   if (it == lrcs_.end()) {
@@ -120,6 +128,16 @@ std::vector<std::pair<std::string, Replica>> ReplicaLocationService::locate(
     }
   }
   return out;
+}
+
+bool ReplicaLocationService::has_replica_at(const std::string& lfn,
+                                            const std::string& site,
+                                            Time now) const {
+  if (!rli_.knows(lfn, site, now)) return false;
+  // Mirror locate()'s LRC check: a stale index entry whose catalog
+  // dropped the mapping (or whose LRC is down) yields no replicas.
+  const LocalReplicaCatalog* lrc = find_lrc(site);
+  return lrc != nullptr && lrc->has(lfn);
 }
 
 void ReplicaLocationService::refresh_all(Time now) {

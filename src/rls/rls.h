@@ -12,6 +12,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/units.h"
@@ -69,6 +70,12 @@ class ReplicaLocationIndex {
   [[nodiscard]] std::vector<std::string> sites_with(const std::string& lfn,
                                                     Time now) const;
 
+  /// O(1)-ish membership: did `site` advertise `lfn` and is the entry
+  /// still fresh?  The allocation-free form of sites_with for callers
+  /// that test one site (rank policies probing data locality).
+  [[nodiscard]] bool knows(const std::string& lfn, const std::string& site,
+                           Time now) const;
+
   [[nodiscard]] Time ttl() const { return ttl_; }
   void set_ttl(Time ttl) { ttl_ = ttl; }
 
@@ -77,8 +84,10 @@ class ReplicaLocationIndex {
  private:
   std::string name_;
   Time ttl_ = Time::minutes(30);
-  // lfn -> site -> last refresh time
-  std::map<std::string, std::map<std::string, Time>> index_;
+  // lfn -> site -> last refresh time.  The outer index is unordered
+  // (hot lookups hash once); the inner site map stays ordered so
+  // sites_with keeps returning name-sorted sites.
+  std::unordered_map<std::string, std::map<std::string, Time>> index_;
 };
 
 /// Convenience façade binding LRCs and an RLI into one service endpoint,
@@ -102,6 +111,12 @@ class ReplicaLocationService {
   /// Query: all replicas of an LFN across sites the RLI knows about.
   [[nodiscard]] std::vector<std::pair<std::string, Replica>> locate(
       const std::string& lfn, Time now) const;
+
+  /// True iff locate(lfn, now) would list `site` -- the RLI entry is
+  /// fresh AND the site's LRC still holds the mapping -- without
+  /// materialising the replica list.
+  [[nodiscard]] bool has_replica_at(const std::string& lfn,
+                                    const std::string& site, Time now) const;
 
   /// Periodic soft-state refresh of every LRC digest.
   void refresh_all(Time now);

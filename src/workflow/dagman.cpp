@@ -4,9 +4,9 @@
 #include <cassert>
 #include <iterator>
 #include <map>
-#include <set>
 
 #include "broker/broker.h"
+#include "core/ids.h"
 #include "health/health.h"
 
 namespace grid3::workflow {
@@ -111,12 +111,16 @@ ConcreteDag DagMan::rescue_dag_refreshed(const ConcreteDag& dag,
   ConcreteDag rescue = rescue_dag(dag, stats);
   if (broker_ == nullptr) return rescue;
   // Sites the live GIIS view still advertises, for pruning dead SEs out
-  // of the archive chains alongside the candidate refresh.
-  std::set<std::string> live;
-  for (const broker::SiteView& v : broker_->view(now)) live.insert(v.site);
+  // of the archive chains alongside the candidate refresh.  Membership
+  // over interned ids: an SE the registry never saw cannot be in the
+  // view, so find() (not intern) suffices on the probe side.
+  core::IdBitset live;
+  for (const broker::SiteView& v : broker_->view(now)) live.set(v.id);
+  const core::Interner<core::SiteId>& site_ids = broker_->id_registry()->sites;
   const health::SiteHealthMonitor* health = broker_->health();
   const auto se_alive = [&](const std::string& se) {
-    return live.count(se) != 0 &&
+    const core::SiteId id = site_ids.find(se);
+    return id.valid() && live.test(id) &&
            (health == nullptr || !health->quarantined(se));
   };
   for (ConcreteNode& node : rescue.nodes) {
