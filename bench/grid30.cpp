@@ -14,6 +14,10 @@
 //  3. Campaign: the incremental run doubles as the throughput probe
 //     (simulator events/sec, completed jobs) and emits Table-1- and
 //     Figure-2-shaped per-VO outputs at the 10x scale.
+//  4. Kernel equivalence: the same campaign re-run on the legacy kernel
+//     (pure-heap event queue + full-graph fair-share re-solve,
+//     docs/KERNEL.md) and its match logs diffed byte-for-byte against
+//     the calendar/partial run.
 //
 // `grid30 --snapshot PATH` additionally writes the measured rates as a
 // JSON snapshot (the committed bench/BENCH_grid30.json records the
@@ -137,7 +141,8 @@ struct CampaignResult {
   double wall_seconds = 0.0;
 };
 
-CampaignResult run_campaign(bool incremental, bool print_tables) {
+CampaignResult run_campaign(bool incremental, bool print_tables,
+                            bool legacy_kernel = false) {
   apps::ScenarioOptions opts;
   // Full mode runs the paper's full job volume (scale 1.0) on the 10x
   // fabric for two months -- heavy enough to exercise tens of
@@ -150,11 +155,18 @@ CampaignResult run_campaign(bool incremental, bool print_tables) {
   opts.seed = bench::seed();
   opts.broker_policy = broker::PolicyKind::kQueueDepth;
   opts.broker_incremental_rank = incremental;
+  // Legacy kernel: pure-heap event queue + full-graph fair-share
+  // re-solve -- the pre-calendar baseline the campaign diff certifies
+  // the fast kernel against, byte for byte.
+  opts.network_partial_reallocate = !legacy_kernel;
   std::cout << "[campaign " << (incremental ? "incremental" : "full-rescore")
+            << (legacy_kernel ? ", legacy kernel" : "")
             << "] months=" << opts.months << " job_scale=" << opts.job_scale
             << " replicas=" << kReplicas << " ... " << std::flush;
 
-  sim::Simulation sim;
+  sim::QueueConfig qc;
+  qc.calendar = !legacy_kernel;
+  sim::Simulation sim{qc};
   const auto start = std::chrono::steady_clock::now();
   apps::Scenario scenario{sim, opts};
   scenario.run();
@@ -207,7 +219,8 @@ CampaignResult run_campaign(bool incremental, bool print_tables) {
 }
 
 int write_snapshot(const char* path, const MicrobenchResult& micro,
-                   bool identical, const CampaignResult& campaign) {
+                   bool identical, bool kernel_identical,
+                   const CampaignResult& campaign) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "grid30: cannot write %s\n", path);
@@ -215,7 +228,7 @@ int write_snapshot(const char* path, const MicrobenchResult& micro,
   }
   std::fprintf(out,
                "{\n"
-               "  \"schema\": \"grid3-bench-grid30-v1\",\n"
+               "  \"schema\": \"grid3-bench-grid30-v2\",\n"
                "  \"sites\": %zu,\n"
                "  \"total_cpus\": %d,\n"
                "  \"jobs\": %zu,\n"
@@ -223,12 +236,14 @@ int write_snapshot(const char* path, const MicrobenchResult& micro,
                "  \"match_cycles_per_sec_full\": %.0f,\n"
                "  \"match_cycles_per_sec_incremental\": %.0f,\n"
                "  \"match_speedup\": %.2f,\n"
-               "  \"identical_decisions\": %s\n"
+               "  \"identical_decisions\": %s,\n"
+               "  \"kernel_identical\": %s\n"
                "}\n",
                micro.sites, micro.total_cpus, campaign.jobs,
                campaign.events_per_sec, micro.cycles_per_sec_full,
                micro.cycles_per_sec_incremental, micro.speedup(),
-               identical ? "true" : "false");
+               identical ? "true" : "false",
+               kernel_identical ? "true" : "false");
   std::fclose(out);
   std::printf("grid30 snapshot -> %s\n", path);
   return 0;
@@ -258,6 +273,14 @@ int main(int argc, char** argv) {
       run_campaign(/*incremental=*/false, /*print_tables=*/false);
   const bool identical = inc_run.match_log == full_run.match_log;
 
+  // Kernel equivalence: the same incremental campaign on the legacy
+  // kernel (pure-heap queue, full-graph fair-share re-solve).  The
+  // calendar queue and the partial re-solve may only change the cost of
+  // a run, never a decision, so the logs must match byte for byte.
+  const CampaignResult legacy_run = run_campaign(
+      /*incremental=*/true, /*print_tables=*/false, /*legacy_kernel=*/true);
+  const bool kernel_identical = inc_run.match_log == legacy_run.match_log;
+
   using grid3::util::AsciiTable;
   const double hit_rate =
       inc_run.rank_evals + inc_run.rank_cache_hits > 0
@@ -285,20 +308,27 @@ int main(int argc, char** argv) {
             << (identical ? "IDENTICAL" : "DIVERGED")
             << (micro.same_choice ? "" : "; microbench picks DIVERGED too")
             << '\n';
+  std::cout << "acceptance: calendar/partial kernel vs legacy "
+               "heap/full-resolve campaign logs -> "
+            << (kernel_identical ? "IDENTICAL" : "DIVERGED") << '\n';
 
   std::printf(
       "result-json: {\"sites\": %zu, \"total_cpus\": %d, \"jobs\": %zu, "
       "\"events_per_sec\": %.0f, \"match_cycles_per_sec_full\": %.0f, "
       "\"match_cycles_per_sec_incremental\": %.0f, \"match_speedup\": %.2f, "
-      "\"identical_decisions\": %s}\n",
+      "\"identical_decisions\": %s, \"kernel_identical\": %s}\n",
       micro.sites, micro.total_cpus, inc_run.jobs, inc_run.events_per_sec,
       micro.cycles_per_sec_full, micro.cycles_per_sec_incremental,
-      micro.speedup(), identical ? "true" : "false");
+      micro.speedup(), identical ? "true" : "false",
+      kernel_identical ? "true" : "false");
 
   if (snapshot_path != nullptr &&
-      write_snapshot(snapshot_path, micro, identical, inc_run) != 0) {
+      write_snapshot(snapshot_path, micro, identical, kernel_identical,
+                     inc_run) != 0) {
     return 1;
   }
   grid3::bench::scale_note();
-  return (fast_enough && identical && micro.same_choice) ? 0 : 1;
+  return (fast_enough && identical && kernel_identical && micro.same_choice)
+             ? 0
+             : 1;
 }

@@ -36,8 +36,19 @@ GATED = [
 # O(n) -> O(n log^2 n) slip in the queue or cancel bookkeeping.
 KERNEL_BASELINE = "bench/BENCH_kernel.json"
 KERNEL_KEYS = ("events_per_sec", "queue_ops_per_sec",
-               "match_cycles_per_sec")
+               "match_cycles_per_sec", "timer_events_per_sec",
+               "flow_reallocs_per_sec")
 KERNEL_REGRESSION_RATIO = 0.5
+
+# Kernel-speedup floors (docs/BENCH.md): the calendar queue must beat
+# the pure-heap baseline on the timer-storm workload, and the partial
+# fair-share re-solve must beat the full-graph baseline on flow churn.
+# Both baselines are measured in the same snapshot run, so runner speed
+# cancels out and the floors can sit well above the noise band.
+KERNEL_SPEEDUPS = (
+    ("timer_events_per_sec", "timer_events_per_sec_heap", 2.0),
+    ("flow_reallocs_per_sec", "flow_reallocs_per_sec_full", 3.0),
+)
 
 
 def run_bench(build_dir: pathlib.Path, name: str) -> dict:
@@ -114,6 +125,11 @@ def check_grid30(entry: dict) -> list[str]:
         problems.append(
             "incremental and full-rescore campaigns diverged; the rank "
             "cache changed a match decision")
+    if not r.get("kernel_identical", False):
+        problems.append(
+            "calendar/partial kernel and legacy heap/full-resolve kernel "
+            "produced different campaign logs; the fast paths changed "
+            "behavior, not just cost")
     return problems
 
 
@@ -163,6 +179,20 @@ def check_kernel_snapshot(build_dir: pathlib.Path,
                 f"{ratio:.2f}x the baseline {old:,.0f} "
                 f"(floor {KERNEL_REGRESSION_RATIO}x); if intentional, "
                 f"refresh {KERNEL_BASELINE}")
+    for fast_key, base_key, floor in KERNEL_SPEEDUPS:
+        if fast_key not in fresh or base_key not in fresh:
+            problems.append(
+                f"snapshot missing speedup pair {fast_key}/{base_key}")
+            continue
+        fast, base = float(fresh[fast_key]), float(fresh[base_key])
+        speedup = fast / base if base > 0 else float("inf")
+        print(f"    {fast_key} vs {base_key}: {speedup:.2f}x "
+              f"(floor {floor}x)")
+        if speedup < floor:
+            problems.append(
+                f"kernel speedup below floor: {fast_key} {fast:,.0f} is "
+                f"only {speedup:.2f}x the {base_key} baseline "
+                f"{base:,.0f} (floor {floor}x)")
     entry["ok"] = not problems
     return entry, problems
 

@@ -42,6 +42,7 @@ void wire_users(App& app, const core::Assembled& assembled,
 Scenario::Scenario(sim::Simulation& sim, ScenarioOptions opts)
     : sim_{sim}, opts_{opts} {
   grid_ = std::make_unique<core::Grid3>(sim, opts.seed);
+  grid_->network().set_partial_reallocate(opts.network_partial_reallocate);
   core::AssembleOptions ao;
   ao.cpu_scale = opts.cpu_scale;
   ao.roster_replicas = opts.roster_replicas;

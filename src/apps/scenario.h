@@ -46,6 +46,10 @@ struct ScenarioOptions {
   /// Fabric replication factor (see core::AssembleOptions): 1 = the
   /// historical 27-site roster, 10 = the "Grid30" 270-site fabric.
   int roster_replicas = 1;
+  /// Scope fair-share re-solves to the affected link component (see
+  /// net::NetworkConfig).  False forces the full-graph re-solve -- the
+  /// grid30 bench's legacy-kernel equivalence baseline.
+  bool network_partial_reallocate = true;
 };
 
 struct Window {

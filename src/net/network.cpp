@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace grid3::net {
 
@@ -27,36 +29,198 @@ const std::string& Network::node_name(NodeId n) const {
 
 bool Network::node_up(NodeId n) const { return nodes_.at(n).up; }
 
-void Network::set_node_up(NodeId n, bool up) {
-  Node& node = nodes_.at(n);
-  if (node.up == up) return;
-  settle();
-  node.up = up;
-  if (!up) {
-    // Fail every flow touching the node.  Collect ids first: finishing a
-    // flow mutates the map and runs user callbacks.
-    std::vector<FlowId> victims;
-    for (const auto& [id, f] : flows_) {
-      if (f.src == n || f.dst == n) victims.push_back(id);
-    }
-    for (FlowId id : victims) {
-      finish_flow(id, FlowStatus::kFailedNetworkInterruption);
+double Network::link_capacity(std::uint64_t key) const {
+  const Node& node = nodes_[static_cast<std::size_t>(key / 2)];
+  return (key & 1U) != 0 ? node.cfg.downlink.bps() : node.cfg.uplink.bps();
+}
+
+double Network::done_at(const Flow& f, Time now) const {
+  if (f.rate_bps <= 0.0) return f.anchor_done;
+  const double secs = (now - f.anchor_time).to_seconds();
+  if (secs <= 0.0) return f.anchor_done;
+  return std::min(f.anchor_done + f.rate_bps * secs,
+                  static_cast<double>(f.size.count()));
+}
+
+void Network::credit_to(Flow& f, double done) {
+  // Credit node counters in whole bytes without accumulation drift: the
+  // delta is against the last credited whole-byte mark, and `done` is a
+  // pure function of time, so crediting at any intermediate schedule
+  // yields the same cumulative counters.
+  const auto whole = static_cast<std::int64_t>(done);
+  if (whole <= f.credited) return;
+  const Bytes delta = Bytes::of(whole - f.credited);
+  f.credited = whole;
+  nodes_[f.src].sent += delta;
+  nodes_[f.dst].received += delta;
+}
+
+void Network::attach_links(FlowId id, const Flow& f) {
+  link_flows_[link_out(f.src)].push_back(id);
+  link_flows_[link_in(f.dst)].push_back(id);
+}
+
+void Network::detach_links(FlowId id, const Flow& f) {
+  for (const std::uint64_t key : {link_out(f.src), link_in(f.dst)}) {
+    auto it = link_flows_.find(key);
+    if (it == link_flows_.end()) continue;
+    auto& members = it->second;
+    // Order-preserving erase: member order is FlowId order, which the
+    // solver relies on for mode-identical arithmetic.
+    members.erase(std::remove(members.begin(), members.end(), id),
+                  members.end());
+    if (members.empty()) link_flows_.erase(it);
+  }
+}
+
+std::vector<std::uint64_t> Network::component(
+    std::vector<std::uint64_t> seed) const {
+  std::vector<std::uint64_t> out;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> stack = std::move(seed);
+  while (!stack.empty()) {
+    const std::uint64_t key = stack.back();
+    stack.pop_back();
+    if (!seen.insert(key).second) continue;
+    auto it = link_flows_.find(key);
+    if (it == link_flows_.end()) continue;  // no active flows here
+    out.push_back(key);
+    for (const FlowId id : it->second) {
+      const Flow& f = flows_.at(id);
+      stack.push_back(link_out(f.src));
+      stack.push_back(link_in(f.dst));
     }
   }
-  reallocate();
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
-void Network::block_route(NodeId src, NodeId dst) {
-  blocked_[{src, dst}] = true;
+void Network::reallocate(std::vector<std::uint64_t> seed) {
+  ++reallocs_;
+  // Scope: the affected component (partial) or every active link (full).
+  // Either way the keys are ascending, so ties in the freeze order
+  // resolve identically in both modes.
+  std::vector<std::uint64_t> keys;
+  if (cfg_.partial_reallocate) {
+    keys = component(std::move(seed));
+  } else {
+    keys.reserve(link_flows_.size());
+    for (const auto& [key, members] : link_flows_) keys.push_back(key);
+  }
+  links_solved_ += keys.size();
+  if (keys.empty()) return;
+
+  // Progressive filling: repeatedly freeze the most-constrained
+  // unsaturated link at the equal share, deduct the frozen flows from
+  // their other endpoints, and continue.  A flow's two links are always
+  // both in scope (the component is closed under shared flows).
+  struct SolveLink {
+    double capacity;
+    std::size_t unassigned;
+    bool saturated;
+    const std::vector<FlowId>* members;
+  };
+  std::vector<SolveLink> links;
+  links.reserve(keys.size());
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(keys.size() * 2);
+  for (const std::uint64_t key : keys) {
+    const auto& members = link_flows_.find(key)->second;
+    links.push_back({link_capacity(key), members.size(), false, &members});
+    index.emplace(key, links.size() - 1);
+  }
+  std::unordered_map<FlowId, double> new_rate;  // -1 = unassigned
+  for (const SolveLink& l : links) {
+    for (const FlowId id : *l.members) new_rate.emplace(id, -1.0);
+  }
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  for (;;) {
+    double best_share = 0.0;
+    std::size_t best = kNone;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      SolveLink& l = links[i];
+      if (l.saturated) continue;
+      if (l.unassigned == 0) {
+        l.saturated = true;
+        continue;
+      }
+      const double share =
+          l.capacity / static_cast<double>(l.unassigned);
+      if (best == kNone || share < best_share) {
+        best_share = share;
+        best = i;
+      }
+    }
+    if (best == kNone) break;
+    links[best].saturated = true;
+    const std::uint64_t best_key = keys[best];
+    for (const FlowId id : *links[best].members) {
+      double& rate = new_rate.find(id)->second;
+      if (rate >= 0.0) continue;
+      rate = best_share;
+      // Deduct the frozen flow's rate from its other link.
+      const Flow& f = flows_.find(id)->second;
+      const std::uint64_t out_key = link_out(f.src);
+      const std::uint64_t other =
+          best_key == out_key ? link_in(f.dst) : out_key;
+      SolveLink& ol = links[index.find(other)->second];
+      if (!ol.saturated) {
+        ol.capacity = std::max(0.0, ol.capacity - best_share);
+        --ol.unassigned;
+      }
+    }
+  }
+
+  // Apply in FlowId order: only flows whose rate actually moved get
+  // settled (anchor advance) and their completion rescheduled, so both
+  // solver modes issue identical schedule/cancel streams and the kernel
+  // assigns identical event ids (equivalence contract, network.h).
+  const Time now = sim_.now();
+  std::vector<FlowId> scoped;
+  scoped.reserve(new_rate.size());
+  for (const auto& [id, rate] : new_rate) scoped.push_back(id);
+  std::sort(scoped.begin(), scoped.end());
+  for (const FlowId id : scoped) {
+    Flow& f = flows_.find(id)->second;
+    double rate = new_rate.find(id)->second;
+    if (rate < 0.0) rate = 0.0;
+    if (rate == f.rate_bps) continue;  // untouched: event + anchor stand
+    const double done = done_at(f, now);
+    credit_to(f, done);
+    f.anchor_done = done;
+    f.anchor_time = now;
+    f.rate_bps = rate;
+    if (f.completion != 0) {
+      sim_.cancel(f.completion);
+      f.completion = 0;
+    }
+    ++completions_rescheduled_;
+    const double remaining = static_cast<double>(f.size.count()) - done;
+    if (remaining <= 0.0) {
+      f.completion = sim_.schedule_at(now, [this, id] { on_completion(id); });
+    } else if (rate > 0.0) {
+      const Time eta = Time::seconds(remaining / rate);
+      f.completion = sim_.schedule_at(now + eta + Time::micros(1),
+                                      [this, id] { on_completion(id); });
+    }
+  }
 }
 
-void Network::unblock_route(NodeId src, NodeId dst) {
-  blocked_.erase({src, dst});
-}
-
-bool Network::route_open(NodeId src, NodeId dst) const {
-  if (blocked_.contains({src, dst})) return false;
-  return nodes_.at(src).cfg.outbound_allowed || src == dst;
+void Network::on_completion(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& f = it->second;
+  // Stale-rate guard: a live completion event always fired at the rate
+  // it was scheduled under (rate changes cancel it), so this only trips
+  // on floating-point edge rounding.
+  if (done_at(f, sim_.now()) <
+      static_cast<double>(f.size.count()) - 0.5) {
+    return;
+  }
+  const std::vector<std::uint64_t> seed{link_out(f.src), link_in(f.dst)};
+  finish_flow(id, FlowStatus::kCompleted);
+  reallocate(seed);
 }
 
 FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size,
@@ -72,194 +236,157 @@ FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size,
     if (done) done(r);
     return 0;
   }
-  settle();
   const FlowId id = next_flow_++;
   Flow f;
   f.src = src;
   f.dst = dst;
   f.size = size;
   f.started = now;
-  f.last_update = now;
+  f.anchor_time = now;
   f.callback = std::move(done);
+  attach_links(id, f);
   flows_.emplace(id, std::move(f));
-  reallocate();
+  reallocate({link_out(src), link_in(dst)});
   return id;
 }
 
 void Network::cancel_flow(FlowId id) {
-  if (!flows_.contains(id)) return;
-  settle();
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  const std::vector<std::uint64_t> seed{link_out(it->second.src),
+                                        link_in(it->second.dst)};
   finish_flow(id, FlowStatus::kCancelled);
-  reallocate();
+  reallocate(seed);
+}
+
+void Network::set_node_up(NodeId n, bool up) {
+  Node& node = nodes_.at(n);
+  if (node.up == up) return;
+  node.up = up;
+  if (!up) {
+    // Fail every flow touching the node.  Collect ids and the affected
+    // links first: finishing a flow mutates the map and runs user
+    // callbacks (which may start new flows reentrantly).
+    std::vector<FlowId> victims;
+    std::vector<std::uint64_t> seed;
+    for (const auto& [id, f] : flows_) {
+      if (f.src == n || f.dst == n) {
+        victims.push_back(id);
+        seed.push_back(link_out(f.src));
+        seed.push_back(link_in(f.dst));
+      }
+    }
+    for (const FlowId id : victims) {
+      finish_flow(id, FlowStatus::kFailedNetworkInterruption);
+    }
+    reallocate(std::move(seed));
+  } else {
+    // No flow can touch a down node, so coming back up frees capacity
+    // nothing was waiting on; the solve is a no-op in both modes.
+    reallocate({link_out(n), link_in(n)});
+  }
+}
+
+void Network::block_route(NodeId src, NodeId dst) {
+  blocked_[{src, dst}] = true;
+}
+
+void Network::unblock_route(NodeId src, NodeId dst) {
+  blocked_.erase({src, dst});
+}
+
+bool Network::route_open(NodeId src, NodeId dst) const {
+  if (blocked_.contains({src, dst})) return false;
+  return nodes_.at(src).cfg.outbound_allowed || src == dst;
 }
 
 Bandwidth Network::flow_rate(FlowId id) const {
   auto it = flows_.find(id);
-  return it == flows_.end() ? Bandwidth{}
-                            : Bandwidth::bytes_per_sec(it->second.rate_bps);
+  return it == flows_.end() || it->second.rate_bps <= 0.0
+             ? Bandwidth{}
+             : Bandwidth::bytes_per_sec(it->second.rate_bps);
 }
 
-Bytes Network::bytes_received(NodeId n) const { return nodes_.at(n).received; }
-Bytes Network::bytes_sent(NodeId n) const { return nodes_.at(n).sent; }
+Bytes Network::bytes_received(NodeId n) const {
+  Bytes total = nodes_.at(n).received;
+  auto it = link_flows_.find(link_in(n));
+  if (it != link_flows_.end()) {
+    const Time now = sim_.now();
+    for (const FlowId id : it->second) {
+      const Flow& f = flows_.find(id)->second;
+      total += Bytes::of(static_cast<std::int64_t>(done_at(f, now)) -
+                         f.credited);
+    }
+  }
+  return total;
+}
+
+Bytes Network::bytes_sent(NodeId n) const {
+  Bytes total = nodes_.at(n).sent;
+  auto it = link_flows_.find(link_out(n));
+  if (it != link_flows_.end()) {
+    const Time now = sim_.now();
+    for (const FlowId id : it->second) {
+      const Flow& f = flows_.find(id)->second;
+      total += Bytes::of(static_cast<std::int64_t>(done_at(f, now)) -
+                         f.credited);
+    }
+  }
+  return total;
+}
 
 Bandwidth Network::rate_in(NodeId n) const {
   double bps = 0.0;
-  for (const auto& [id, f] : flows_) {
-    if (f.dst == n && f.rate_bps > 0.0) bps += f.rate_bps;
+  auto it = link_flows_.find(link_in(n));
+  if (it != link_flows_.end()) {
+    for (const FlowId id : it->second) {
+      const double r = flows_.find(id)->second.rate_bps;
+      if (r > 0.0) bps += r;
+    }
   }
   return Bandwidth::bytes_per_sec(bps);
 }
 
 Bandwidth Network::rate_out(NodeId n) const {
   double bps = 0.0;
-  for (const auto& [id, f] : flows_) {
-    if (f.src == n && f.rate_bps > 0.0) bps += f.rate_bps;
+  auto it = link_flows_.find(link_out(n));
+  if (it != link_flows_.end()) {
+    for (const FlowId id : it->second) {
+      const double r = flows_.find(id)->second.rate_bps;
+      if (r > 0.0) bps += r;
+    }
   }
   return Bandwidth::bytes_per_sec(bps);
-}
-
-void Network::settle() {
-  const Time now = sim_.now();
-  for (auto& [id, f] : flows_) {
-    const double secs = (now - f.last_update).to_seconds();
-    if (secs > 0.0 && f.rate_bps > 0.0) {
-      const double moved =
-          std::min(f.rate_bps * secs,
-                   static_cast<double>(f.size.count()) - f.done_bytes);
-      f.done_bytes += moved;
-      // Credit node counters in whole bytes without accumulation drift.
-      const auto whole = static_cast<std::int64_t>(f.done_bytes);
-      const auto delta = Bytes::of(whole - f.credited);
-      f.credited = whole;
-      nodes_[f.src].sent += delta;
-      nodes_[f.dst].received += delta;
-    }
-    f.last_update = now;
-  }
-}
-
-void Network::reallocate() {
-  // Progressive filling over access links.  Each flow uses link (src, out)
-  // and (dst, in).  Repeatedly find the most-constrained unsaturated link,
-  // freeze its flows at the equal share, and continue.
-  struct LinkState {
-    double capacity = 0.0;
-    std::vector<FlowId> flows;
-    bool saturated = false;
-  };
-  // Link key: node * 2 + direction (0 = out, 1 = in).
-  std::map<std::uint64_t, LinkState> links;
-  for (auto& [id, f] : flows_) {
-    f.rate_bps = -1.0;  // unassigned
-    auto& out = links[static_cast<std::uint64_t>(f.src) * 2];
-    out.capacity = nodes_[f.src].cfg.uplink.bps();
-    out.flows.push_back(id);
-    auto& in = links[static_cast<std::uint64_t>(f.dst) * 2 + 1];
-    in.capacity = nodes_[f.dst].cfg.downlink.bps();
-    in.flows.push_back(id);
-  }
-
-  auto unassigned_on = [&](const LinkState& l) {
-    std::size_t n = 0;
-    for (FlowId id : l.flows) {
-      if (flows_.at(id).rate_bps < 0.0) ++n;
-    }
-    return n;
-  };
-
-  while (true) {
-    double best_share = 0.0;
-    LinkState* best = nullptr;
-    for (auto& [key, l] : links) {
-      if (l.saturated) continue;
-      const std::size_t n = unassigned_on(l);
-      if (n == 0) {
-        l.saturated = true;
-        continue;
-      }
-      const double share = l.capacity / static_cast<double>(n);
-      if (best == nullptr || share < best_share) {
-        best_share = share;
-        best = &l;
-      }
-    }
-    if (best == nullptr) break;
-    best->saturated = true;
-    for (FlowId id : best->flows) {
-      Flow& f = flows_.at(id);
-      if (f.rate_bps < 0.0) {
-        f.rate_bps = best_share;
-        // Deduct the frozen flow's rate from its other link.
-        for (auto& [key, l] : links) {
-          if (&l == best || l.saturated) continue;
-          if (std::find(l.flows.begin(), l.flows.end(), id) != l.flows.end()) {
-            l.capacity = std::max(0.0, l.capacity - best_share);
-          }
-        }
-      }
-    }
-  }
-
-  // Reschedule completion events at the new rates.
-  const Time now = sim_.now();
-  for (auto& [id, f] : flows_) {
-    if (f.rate_bps < 0.0) f.rate_bps = 0.0;
-    if (f.completion != 0) {
-      sim_.cancel(f.completion);
-      f.completion = 0;
-    }
-    const double remaining =
-        static_cast<double>(f.size.count()) - f.done_bytes;
-    if (remaining <= 0.0) {
-      const FlowId fid = id;
-      f.completion = sim_.schedule_at(now, [this, fid] {
-        settle();
-        finish_flow(fid, FlowStatus::kCompleted);
-        reallocate();
-      });
-    } else if (f.rate_bps > 0.0) {
-      const Time eta = Time::seconds(remaining / f.rate_bps);
-      const FlowId fid = id;
-      f.completion =
-          sim_.schedule_at(now + eta + Time::micros(1), [this, fid] {
-            settle();
-            auto it = flows_.find(fid);
-            if (it == flows_.end()) return;
-            if (it->second.done_bytes >=
-                static_cast<double>(it->second.size.count()) - 0.5) {
-              finish_flow(fid, FlowStatus::kCompleted);
-              reallocate();
-            }
-            // Otherwise the rate changed since scheduling; reallocate()
-            // already armed a fresh completion event.
-          });
-    }
-  }
 }
 
 void Network::finish_flow(FlowId id, FlowStatus status) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
   Flow f = std::move(it->second);
+  detach_links(id, f);
   flows_.erase(it);
   if (f.completion != 0) sim_.cancel(f.completion);
 
+  const Time now = sim_.now();
   if (status == FlowStatus::kCompleted) {
     // Settle rounding: a completed flow delivered exactly `size` bytes.
     const Bytes tail = Bytes::of(f.size.count() - f.credited);
     nodes_[f.src].sent += tail;
     nodes_[f.dst].received += tail;
+  } else {
+    credit_to(f, done_at(f, now));
   }
 
   FlowResult r;
   r.id = id;
   r.status = status;
   r.requested = f.size;
-  r.transferred = status == FlowStatus::kCompleted
-                      ? f.size
-                      : Bytes::of(static_cast<std::int64_t>(f.done_bytes));
+  r.transferred =
+      status == FlowStatus::kCompleted
+          ? f.size
+          : Bytes::of(static_cast<std::int64_t>(done_at(f, now)));
   r.started = f.started;
-  r.finished = sim_.now();
+  r.finished = now;
   if (f.callback) f.callback(r);
 }
 

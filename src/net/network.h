@@ -4,8 +4,41 @@
 // into an over-provisioned backbone -- the realistic regime for 2003
 // ESnet/Abilene paths, where the site uplink (often the gatekeeper NIC,
 // paper section 6.4 requirement 4) was the bottleneck.  Concurrent flows
-// share links max-min fairly via progressive filling; rates are
-// recomputed on every flow arrival/departure and node outage.
+// share links max-min fairly via progressive filling.
+//
+// Reallocation is *partial* by default: the solver maintains per-link
+// flow sets and, on every flow start/finish/cancel and node outage,
+// re-runs progressive filling only over the connected component of
+// links reachable from the affected links through shared flows.  Flows
+// outside that component cannot change rate under max-min fairness
+// (their links' capacities and flow sets are untouched), so the partial
+// re-solve costs O(component), not O(total flows).  The full-graph
+// solve stays available behind NetworkConfig::partial_reallocate =
+// false for differential testing; docs/KERNEL.md works a re-solve
+// example step by step.
+//
+// Equivalence contract: partial and full modes produce *byte-identical*
+// FlowResults, node byte counters, and simulation event streams.  Three
+// properties make that hold exactly, not just approximately:
+//
+//   1. Per-flow progress is a pure function of (anchor, rate, now) --
+//      the anchor advances only when the flow's rate changes, so
+//      intermediate settles cannot perturb floating-point accumulation;
+//   2. the component solver freezes links in the same ascending-key,
+//      ascending-share order the full solve uses, and a component's
+//      arithmetic never reads state outside the component, so rates
+//      come out bit-identical;
+//   3. completion events are cancelled and rescheduled only for flows
+//      whose rate actually moved, in FlowId order, so both modes issue
+//      the same schedule/cancel calls in the same order and the kernel
+//      assigns identical event ids.
+//
+// Operation costs (C = affected component's links + flows):
+//
+//   start_flow / cancel_flow / completion   O(C^2) solve, O(C) settle
+//   set_node_up(false)                      O(total flows) victim scan + O(C^2)
+//   flow_rate / rate_in / rate_out          O(flows on the link)
+//   bytes_sent / bytes_received             O(flows on the link)
 #pragma once
 
 #include <cstdint>
@@ -58,11 +91,26 @@ struct NodeConfig {
   bool outbound_allowed = true;
 };
 
+/// Solver tuning.  `partial_reallocate = false` forces the full-graph
+/// re-solve on every change -- the differential-testing baseline the
+/// perf_kernel flow-churn series and the equivalence tests run against.
+struct NetworkConfig {
+  bool partial_reallocate = true;
+};
+
 class Network {
  public:
-  explicit Network(sim::Simulation& sim) : sim_{sim} {}
+  explicit Network(sim::Simulation& sim, NetworkConfig cfg = {})
+      : sim_{sim}, cfg_{cfg} {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// Flip the solver scope (normally set once before traffic starts;
+  /// both modes are correct at any point, the flag only changes cost).
+  void set_partial_reallocate(bool on) { cfg_.partial_reallocate = on; }
+  [[nodiscard]] bool partial_reallocate() const {
+    return cfg_.partial_reallocate;
+  }
 
   NodeId add_node(NodeConfig cfg);
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -92,13 +140,28 @@ class Network {
   [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
 
   /// Cumulative bytes received by a node since construction ("data
-  /// consumed by Grid3 sites", Figure 5).
+  /// consumed by Grid3 sites", Figure 5).  Includes in-flight progress:
+  /// the stored counter is topped up from each active flow's pure
+  /// progress function, so lazy settling never under-reports.
   [[nodiscard]] Bytes bytes_received(NodeId n) const;
   [[nodiscard]] Bytes bytes_sent(NodeId n) const;
 
   /// Instantaneous aggregate flow rate into / out of a node (monitoring).
   [[nodiscard]] Bandwidth rate_in(NodeId n) const;
   [[nodiscard]] Bandwidth rate_out(NodeId n) const;
+
+  // --- solver-cost introspection (bench + scoping tests) ---------------
+
+  /// Progressive-filling invocations since construction.
+  [[nodiscard]] std::uint64_t reallocs() const { return reallocs_; }
+  /// Links visited across all solves: O(affected) in partial mode,
+  /// O(all active links) per solve in full mode.
+  [[nodiscard]] std::uint64_t links_solved() const { return links_solved_; }
+  /// Completion events actually cancelled+rescheduled (only flows whose
+  /// rate moved pay this).
+  [[nodiscard]] std::uint64_t completions_rescheduled() const {
+    return completions_rescheduled_;
+  }
 
  private:
   struct Node {
@@ -108,29 +171,64 @@ class Network {
     Bytes sent;
   };
   struct Flow {
-    NodeId src;
-    NodeId dst;
+    NodeId src = 0;
+    NodeId dst = 0;
     Bytes size;
-    double done_bytes = 0.0;  // fractional accumulation between updates
-    std::int64_t credited = 0;  // whole bytes already added to node counters
+    /// Progress anchor: bytes done at anchor_time.  Advanced ONLY when
+    /// the rate changes, so done_at() is a pure function of `now` and
+    /// both solver modes account identically (equivalence contract).
+    double anchor_done = 0.0;
+    Time anchor_time;
+    std::int64_t credited = 0;  ///< whole bytes pushed into node counters
     Time started;
-    Time last_update;
-    double rate_bps = 0.0;
+    double rate_bps = -1.0;  ///< -1 until the first solve assigns a rate
     sim::EventId completion = 0;
     FlowCallback callback;
   };
 
-  /// Advance every flow's transferred-byte count to now at current rates.
-  void settle();
-  /// Progressive-filling max-min fair allocation; reschedules completions.
-  void reallocate();
+  /// Link key: node * 2 + direction (0 = out/uplink, 1 = in/downlink).
+  [[nodiscard]] static std::uint64_t link_out(NodeId n) {
+    return static_cast<std::uint64_t>(n) * 2;
+  }
+  [[nodiscard]] static std::uint64_t link_in(NodeId n) {
+    return static_cast<std::uint64_t>(n) * 2 + 1;
+  }
+  [[nodiscard]] double link_capacity(std::uint64_t key) const;
+
+  /// Bytes transferred by `now` at the anchored rate (pure; clamped at
+  /// the flow size).
+  [[nodiscard]] double done_at(const Flow& f, Time now) const;
+  /// Push the whole-byte progress delta into the endpoint counters.
+  void credit_to(Flow& f, double done);
+
+  void attach_links(FlowId id, const Flow& f);
+  void detach_links(FlowId id, const Flow& f);
+  /// Connected component of links reachable from `seed` through shared
+  /// flows, sorted ascending (the solve order).
+  [[nodiscard]] std::vector<std::uint64_t> component(
+      std::vector<std::uint64_t> seed) const;
+
+  /// Progressive-filling max-min fair allocation over the affected
+  /// component (partial mode) or every active link (full mode);
+  /// settles and reschedules completions only for flows whose rate
+  /// actually moved.
+  void reallocate(std::vector<std::uint64_t> seed);
+  void on_completion(FlowId id);
   void finish_flow(FlowId id, FlowStatus status);
 
   sim::Simulation& sim_;
+  NetworkConfig cfg_;
   std::vector<Node> nodes_;
   std::map<FlowId, Flow> flows_;
+  /// Active flows per link, in FlowId order (flows attach in id order
+  /// and detach preserving order).  Erased when empty, so iteration
+  /// covers exactly the links with traffic.
+  std::map<std::uint64_t, std::vector<FlowId>> link_flows_;
   std::map<std::pair<NodeId, NodeId>, bool> blocked_;
   FlowId next_flow_ = 1;
+  std::uint64_t reallocs_ = 0;
+  std::uint64_t links_solved_ = 0;
+  std::uint64_t completions_rescheduled_ = 0;
 };
 
 }  // namespace grid3::net

@@ -1,0 +1,182 @@
+// Open-addressing hash set for event ids.
+//
+// The kernel consults the live/cancelled sets on every schedule, cancel,
+// and pop, so the per-event cost of std::unordered_set -- one node
+// allocation per insert, one deallocation per erase, pointer-chasing on
+// find -- dominates the hot path long before the queue discipline does.
+// This set stores keys inline in a power-of-two slot array (linear
+// probing, Fibonacci hashing, backward-shift deletion, so no tombstones
+// accumulate) and never allocates except to grow.
+//
+// Key 0 is the empty-slot sentinel; the kernel never stores it
+// (EventIds start at 1, enforced by an assert in insert()).
+//
+//   insert / erase / contains   O(1) expected, allocation-free
+//   size / empty                O(1)
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace grid3::sim {
+
+class IdSet {
+ public:
+  IdSet() : slots_(kMinCapacity, 0) {}
+
+  /// Add `key`; false if it was already present.
+  bool insert(std::uint64_t key) {
+    assert(key != 0);
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+    std::size_t i = slot_of(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask();
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  /// Remove `key`; false if it was absent.  Backward-shift deletion
+  /// keeps probe chains intact without tombstones.
+  bool erase(std::uint64_t key) {
+    std::size_t hole = slot_of(key);
+    while (slots_[hole] != key) {
+      if (slots_[hole] == 0) return false;
+      hole = (hole + 1) & mask();
+    }
+    std::size_t j = (hole + 1) & mask();
+    while (slots_[j] != 0) {
+      const std::size_t ideal = slot_of(slots_[j]);
+      // Shift j back into the hole only if doing so keeps it reachable
+      // from its ideal slot (cyclic distance check).
+      if (((j - ideal) & mask()) >= ((j - hole) & mask())) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask();
+    }
+    slots_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    std::size_t i = slot_of(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return true;
+      i = (i + 1) & mask();
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 64;
+
+  [[nodiscard]] std::size_t mask() const { return slots_.size() - 1; }
+  [[nodiscard]] std::size_t slot_of(std::uint64_t key) const {
+    // Fibonacci hashing: sequential ids (the common case) spread evenly.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32) &
+           mask();
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    for (const std::uint64_t key : old) {
+      if (key == 0) continue;
+      std::size_t i = slot_of(key);
+      while (slots_[i] != 0) i = (i + 1) & mask();
+      slots_[i] = key;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
+
+/// Windowed bitmap over monotonically-allocated ids.
+///
+/// EventIds are handed out sequentially, so the *live* ids always sit in
+/// a window [base, next_id).  One bit per id in that window beats a hash
+/// set on every axis the kernel cares about: insert lands in the same
+/// cache line as the previous insert (ids are consecutive), erase and
+/// contains touch a bitmap that is ~8 KB per 64k-event window (L1-sized
+/// where the equivalent hash table is megabytes), and nothing is ever
+/// rehashed.  The window's leading all-zero words are trimmed whenever
+/// the bitmap grows, so memory tracks the id-span of the *live* events,
+/// not the total ever scheduled.
+///
+///   insert / erase / contains   O(1), amortized over window compaction
+///   size / empty                O(1)
+class IdWindow {
+ public:
+  /// Add `id`; false if already present.  Ids must be >= the window base
+  /// (always true for ids that only grow).
+  bool insert(std::uint64_t id) {
+    assert(id >= base_);
+    std::uint64_t idx = id - base_;
+    std::size_t word = static_cast<std::size_t>(idx >> 6);
+    if (word >= words_.size()) {
+      grow(word);
+      idx = id - base_;  // grow() may have slid the window forward
+      word = static_cast<std::size_t>(idx >> 6);
+    }
+    const std::uint64_t bit = 1ULL << (idx & 63);
+    if (words_[word] & bit) return false;
+    words_[word] |= bit;
+    ++size_;
+    return true;
+  }
+
+  /// Remove `id`; false if absent.
+  bool erase(std::uint64_t id) {
+    if (id < base_) return false;
+    const std::uint64_t idx = id - base_;
+    const std::size_t word = static_cast<std::size_t>(idx >> 6);
+    if (word >= words_.size()) return false;
+    const std::uint64_t bit = 1ULL << (idx & 63);
+    if (!(words_[word] & bit)) return false;
+    words_[word] &= ~bit;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    if (id < base_) return false;
+    const std::uint64_t idx = id - base_;
+    const std::size_t word = static_cast<std::size_t>(idx >> 6);
+    if (word >= words_.size()) return false;
+    return (words_[word] >> (idx & 63)) & 1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  /// Extend the bitmap to cover `word`, first sliding the window past
+  /// leading all-zero words when at least half the bitmap is dead --
+  /// discarding >= as many words as get moved keeps this O(1) amortized.
+  void grow(std::size_t word) {
+    std::size_t lead = 0;
+    while (lead < words_.size() && words_[lead] == 0) ++lead;
+    if (lead > 0 && lead * 2 >= words_.size()) {
+      words_.erase(words_.begin(),
+                   words_.begin() + static_cast<std::ptrdiff_t>(lead));
+      base_ += static_cast<std::uint64_t>(lead) * 64;
+      word -= lead;
+    }
+    words_.resize(std::max(word + 1, words_.size() + words_.size() / 2));
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::uint64_t base_ = 0;  ///< id of bit 0 of words_[0]
+  std::size_t size_ = 0;
+};
+
+}  // namespace grid3::sim

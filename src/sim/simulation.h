@@ -5,21 +5,54 @@
 // deterministic.  All Grid3Sim services (gatekeepers, schedulers, GridFTP
 // servers, monitoring agents) are callbacks driven by this kernel.
 //
+// Storage is a hybrid of two disciplines (docs/KERNEL.md has the full
+// internals guide):
+//
+//   * a *calendar* ring of fixed-width time buckets covering the window
+//     [now, now + buckets * bucket_width).  Events scheduled inside the
+//     window -- which is where every periodic timer lands: monitoring
+//     sweeps, PeriodicProcess ticks, completion ETAs -- are appended to
+//     their bucket in O(1) and popped by a cursor scan that is O(1)
+//     amortized on near-uniform timer workloads;
+//   * a binary heap for events beyond the window (nightly rollovers,
+//     month-scale horizons), paying the classic O(log n) push/pop.
+//
+// The two stores never migrate entries; the dispatcher compares the
+// calendar candidate against the heap front and fires the global
+// (time, id) minimum, so the execution order is *identical* to a pure
+// heap -- QueueConfig::calendar only changes cost, never behavior
+// (tests assert the orderings are equal event-for-event, and the
+// grid30 bench diffs whole campaign logs across the two modes).
+//
 // Model-checking hooks (grid3::mc): every event carries a *tag* naming
 // the actor that scheduled it plus the resources it touches
 // ("actor|res1|res2..."); tags are inherited from the executing event, so
 // a service only labels the roots of its causal chains.  The explorer
 // uses enumerate_ready()/step_event() to permute commutative
-// same-timestamp events instead of firing them in scheduling order.
+// same-timestamp events instead of firing them in scheduling order; both
+// hooks scan heap and buckets alike, so steering is discipline-blind.
+//
+// Operation costs (n = pending events, b = events in the front bucket):
+//
+//   schedule_at       O(1) calendar window / O(log n) heap
+//   step (pop)        O(log b) amortized calendar (each bucket is sorted
+//                     once and drained from the back) / O(log n) heap;
+//                     O(1) amortized cursor advance over empty buckets
+//   cancel            O(1) (lazy tombstone, purged when encountered)
+//   pending/backlog   O(1)
+//   next_time         O(n) -- model checker only
+//   enumerate_ready   O(n) -- model checker only
+//   step_event        O(n) -- model checker only
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
+#include "sim/id_set.h"
 #include "util/units.h"
 
 namespace grid3::sim {
@@ -37,24 +70,41 @@ struct ReadyEvent {
   std::string tag;
 };
 
+/// Event-queue tuning.  The defaults route every delay below ~17
+/// simulated minutes (the band where periodic monitoring traffic lives)
+/// into the calendar; `calendar = false` forces the pure-heap baseline
+/// the perf_kernel timer-storm series and the grid30 campaign diff
+/// compare against.
+struct QueueConfig {
+  bool calendar = true;
+  /// Width of one calendar bucket.  Smaller buckets cost more cursor
+  /// advances but keep each bucket's sort-and-drain short.
+  Time bucket_width = Time::millis(500);
+  /// Ring size; the calendar window is buckets * bucket_width.
+  std::size_t buckets = 2048;
+};
+
 class Simulation {
  public:
-  Simulation() = default;
+  explicit Simulation(QueueConfig cfg = {});
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const QueueConfig& queue_config() const { return cfg_; }
 
   /// Schedule `fn` at absolute time `t` (>= now).  Returns a handle usable
   /// with cancel().  The event inherits the current tag (the executing
-  /// event's tag, or whatever a ScopedTag installed).
+  /// event's tag, or whatever a ScopedTag installed).  O(1) when `t`
+  /// falls inside the calendar window, O(log pending) otherwise.
   EventId schedule_at(Time t, EventFn fn);
 
   /// Schedule `fn` after `delay` from now.
   EventId schedule_in(Time delay, EventFn fn);
 
   /// Cancel a pending event.  Safe to call on already-fired or unknown ids
-  /// (no-op, returns false).
+  /// (no-op, returns false).  O(1): the entry is tombstoned and reclaimed
+  /// when the dispatcher or a scan next encounters it.
   bool cancel(EventId id);
 
   /// Execute a single event.  Returns false when the queue is empty.
@@ -69,18 +119,36 @@ class Simulation {
 
   [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
-  /// Cancelled-but-not-yet-popped entries.  Bounded by pending(): cancel()
-  /// refuses ids that already fired, so the set cannot grow monotonically
-  /// over a long campaign (tests assert the bound).
+  /// Cancelled-but-not-yet-purged entries.  Bounded by the number of
+  /// stored entries: cancel() refuses ids that already fired, so the set
+  /// cannot grow monotonically over a long campaign, and draining the
+  /// queue always purges it to zero (tests assert the bound).
   [[nodiscard]] std::size_t cancel_backlog() const {
     return cancelled_.size();
+  }
+
+  /// Events routed into calendar buckets / onto the heap since
+  /// construction (bench + routing tests).
+  [[nodiscard]] std::uint64_t calendar_scheduled() const {
+    return calendar_scheduled_;
+  }
+  [[nodiscard]] std::uint64_t heap_scheduled() const {
+    return heap_scheduled_;
   }
 
   // --- event tags (model-checker independence relation) ---------------
 
   /// Tag of the currently-executing event (events scheduled now inherit
   /// it unless a ScopedTag overrides).
-  [[nodiscard]] const std::string& current_tag() const { return tag_; }
+  ///
+  /// Tags are *interned*: the kernel stores a small integer id per
+  /// distinct tag string and events carry only the id, so inheriting a
+  /// tag (the per-event common case) is an integer copy, not a string
+  /// copy.  The string itself is only hashed when a ScopedTag installs
+  /// a tag the kernel has not seen before.
+  [[nodiscard]] const std::string& current_tag() const {
+    return tag_table_[tag_id_];
+  }
 
   /// RAII tag override: events scheduled inside the scope carry `tag`
   /// (kReplace) or the current tag with "|tag" appended (kAppend --
@@ -90,21 +158,23 @@ class Simulation {
    public:
     enum Mode { kReplace, kAppend };
     ScopedTag(Simulation& sim, const std::string& tag, Mode mode = kReplace)
-        : sim_{sim}, saved_{sim.tag_} {
-      if (mode == kAppend && !sim.tag_.empty()) {
-        sim.tag_ += '|';
-        sim.tag_ += tag;
+        : sim_{sim}, saved_{sim.tag_id_} {
+      if (mode == kAppend && sim.tag_id_ != 0) {
+        std::string combined = sim.current_tag();
+        combined += '|';
+        combined += tag;
+        sim.tag_id_ = sim.intern(combined);
       } else {
-        sim.tag_ = tag;
+        sim.tag_id_ = sim.intern(tag);
       }
     }
-    ~ScopedTag() { sim_.tag_ = std::move(saved_); }
+    ~ScopedTag() { sim_.tag_id_ = saved_; }
     ScopedTag(const ScopedTag&) = delete;
     ScopedTag& operator=(const ScopedTag&) = delete;
 
    private:
     Simulation& sim_;
-    std::string saved_;
+    std::uint32_t saved_;
   };
 
   // --- model-checker steering ------------------------------------------
@@ -121,13 +191,15 @@ class Simulation {
   /// Execute one specific event.  The event must be live and scheduled at
   /// next_time() -- the checker may permute same-timestamp events but
   /// never time-travel.  Returns false (and does nothing) otherwise.
+  /// Works identically whether the event lives on the heap or in a
+  /// calendar bucket.
   bool step_event(EventId id);
 
  private:
   struct Entry {
     Time t;
     EventId id;
-    std::string tag;
+    std::uint32_t tag;  ///< interned index into tag_table_
     EventFn fn;
   };
   struct Later {
@@ -136,27 +208,84 @@ class Simulation {
       return a.id > b.id;
     }
   };
+  /// Lightweight proxy sorted in place of fat Entries when a bucket is
+  /// put into drain order.
+  struct SortKey {
+    std::int64_t t;
+    EventId id;
+    std::uint32_t idx;  ///< entry's position in the bucket pre-sort
+  };
+  /// Location of the global (time, id)-minimum live entry.
+  struct Front {
+    enum class Where { kNone, kHeap, kBucket };
+    Where where = Where::kNone;
+    Time t;
+    EventId id = 0;
+    std::size_t slot = 0;   ///< ring slot (kBucket)
+    std::size_t index = 0;  ///< index within the slot (kBucket)
+  };
+
+  /// Absolute bucket ordinal of `t` (monotone in time; ordinal % buckets
+  /// is the ring slot).
+  [[nodiscard]] std::uint64_t ordinal(Time t) const {
+    return static_cast<std::uint64_t>(t.ticks()) / width_ticks_;
+  }
+
+  /// Intern `tag`, returning its stable table index (0 = "").
+  std::uint32_t intern(const std::string& tag);
 
   /// Pop cancelled entries off the heap front; true when a live entry
   /// remains on top.
-  bool settle_front();
+  bool settle_heap_front();
+  /// Locate the next live entry across both stores, purging cancelled
+  /// entries encountered along the way.
+  Front find_front();
+  /// Remove the located entry from its store (no execution).
+  Entry extract(const Front& f);
+  /// Pop-and-execute the front event; refuses events past `horizon`.
+  bool step_front(const Time* horizon);
   void execute(Entry e);
 
+  QueueConfig cfg_;
+  std::int64_t width_ticks_ = 1;
   Time now_;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::string tag_;
-  // Binary heap over `queue_` (std::push_heap/pop_heap with Later), kept
-  // iterable so enumerate_ready()/step_event() can inspect and extract
-  // arbitrary front-timestamp events.
-  std::vector<Entry> queue_;
-  std::unordered_set<EventId> live_;       ///< scheduled, not yet popped
-  std::unordered_set<EventId> cancelled_;  ///< subset of live_
+  std::uint64_t calendar_scheduled_ = 0;
+  std::uint64_t heap_scheduled_ = 0;
+  // Interned tags: tag_table_[0] is the untagged "" every sim starts
+  // with; tag_ids_ maps each distinct string to its index.  The table
+  // only grows (ids stay valid for the sim's lifetime) and is tiny in
+  // practice -- one entry per distinct actor/resource combination.
+  std::uint32_t tag_id_ = 0;
+  std::vector<std::string> tag_table_{std::string{}};
+  std::unordered_map<std::string, std::uint32_t> tag_ids_;
+  // Far-horizon store: binary heap (std::push_heap/pop_heap with Later),
+  // kept iterable so enumerate_ready()/step_event() can inspect and
+  // extract arbitrary front-timestamp events.
+  std::vector<Entry> heap_;
+  // Near-horizon store: ring of unordered buckets, allocated lazily on
+  // the first calendar insert.  All live entries in slot s share one
+  // bucket ordinal; stale tombstones from earlier laps are purged when
+  // the cursor scan visits the slot.  Once the dispatcher settles on a
+  // bucket it sorts it descending once (sorted_ord_) and drains it from
+  // the back in O(1) per pop; inserts into and cancels touching the
+  // sorted bucket invalidate the mark.
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t cal_count_ = 0;    ///< entries stored in buckets_ (incl. tombstones)
+  std::uint64_t scan_hint_ = 0;  ///< lowest possibly-occupied bucket ordinal
+  std::uint64_t sorted_ord_ = kUnsorted;  ///< ordinal drained in sorted order
+  static constexpr std::uint64_t kUnsorted = ~0ULL;
+  std::vector<SortKey> sort_keys_;  ///< reused scratch for bucket sorts
+  std::vector<Entry> sort_scratch_;
+  IdWindow live_;    ///< scheduled, not yet popped (bitmap over the id window)
+  IdSet cancelled_;  ///< subset of live_ (hash set; usually empty)
 };
 
 /// A self-rescheduling periodic callback (monitoring sweeps, exerciser
 /// probes, nightly rollovers).  Stops when stop() is called or when the
-/// callback returns false.
+/// callback returns false.  Ticks with interval below the calendar
+/// window are exactly the workload the calendar discipline makes O(1).
 class PeriodicProcess {
  public:
   using TickFn = std::function<bool()>;

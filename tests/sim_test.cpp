@@ -253,6 +253,143 @@ TEST(Simulation, AppendOnEmptyTagReplaces) {
   EXPECT_EQ(sim.current_tag(), "rb");
 }
 
+// --- calendar/bucket queue discipline ---------------------------------
+
+TEST(Calendar, RoutesNearEventsToBucketsFarToHeap) {
+  Simulation sim;  // defaults: 2048 buckets x 500 ms = a 1024 s window
+  ASSERT_TRUE(sim.queue_config().calendar);
+  sim.schedule_at(Time::seconds(100), [] {});   // inside the window
+  sim.schedule_at(Time::seconds(2000), [] {});  // beyond it
+  EXPECT_EQ(sim.calendar_scheduled(), 1u);
+  EXPECT_EQ(sim.heap_scheduled(), 1u);
+
+  QueueConfig heap_only;
+  heap_only.calendar = false;
+  Simulation h{heap_only};
+  h.schedule_at(Time::seconds(100), [] {});
+  EXPECT_EQ(h.calendar_scheduled(), 0u);
+  EXPECT_EQ(h.heap_scheduled(), 1u);
+}
+
+TEST(Calendar, MatchesHeapOrderThroughChurn) {
+  // The discipline changes cost, never behavior: a churn of same-instant
+  // events, far events, nested reschedules, and cancels must fire in
+  // exactly the same (time, id) order under both disciplines.  The LCG
+  // stream is consumed inside callbacks, so any ordering divergence
+  // snowballs into a different firing log.
+  const auto drive = [](QueueConfig cfg) {
+    Simulation sim{cfg};
+    std::vector<int> order;
+    std::uint64_t lcg = 42;
+    const auto next = [&lcg](std::uint64_t mod) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      return (lcg >> 33) % mod;
+    };
+    std::vector<EventId> cancellable;
+    for (int i = 0; i < 400; ++i) {
+      // Coarse 40 s grid spanning 0..1960 s: plenty of same-instant
+      // collisions, and times on both sides of the 1024 s window.
+      const Time t = Time::seconds(static_cast<double>(next(50)) * 40.0);
+      const EventId id = sim.schedule_at(t, [&sim, &order, &next, i] {
+        order.push_back(i);
+        if (next(3) == 0) {
+          sim.schedule_in(Time::seconds(static_cast<double>(1 + next(2000))),
+                          [&order, i] { order.push_back(1000 + i); });
+        }
+      });
+      if (next(4) == 0) cancellable.push_back(id);
+    }
+    for (const EventId id : cancellable) sim.cancel(id);
+    sim.run();
+    EXPECT_EQ(sim.cancel_backlog(), 0u);
+    return order;
+  };
+  QueueConfig heap_only;
+  heap_only.calendar = false;
+  const auto calendar_order = drive(QueueConfig{});
+  const auto heap_order = drive(heap_only);
+  EXPECT_GT(calendar_order.size(), 100u);
+  EXPECT_EQ(calendar_order, heap_order);
+}
+
+TEST(Calendar, SameInstantAcrossStoresFiresInIdOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  // Seen from t=0, both 1500 s and 2000 s are beyond the window: heap.
+  // The copy scheduled from t=1500 s sees 2000 s inside the window:
+  // bucket.
+  // Same timestamp, different stores; the heap entry has the lower id
+  // and must fire first.
+  sim.schedule_at(Time::seconds(2000), [&] { order.push_back(0); });
+  sim.schedule_at(Time::seconds(1500), [&] {
+    sim.schedule_at(Time::seconds(2000), [&] { order.push_back(1); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sim.heap_scheduled(), 2u);
+  EXPECT_EQ(sim.calendar_scheduled(), 1u);
+}
+
+TEST(Calendar, RunUntilBoundaryHoldsAcrossBothStores) {
+  Simulation sim;
+  bool bucket_fired = false;
+  bool heap_fired = false;
+  sim.schedule_at(Time::seconds(500), [&] { bucket_fired = true; });
+  sim.schedule_at(Time::seconds(5000), [&] { heap_fired = true; });
+  EXPECT_EQ(sim.calendar_scheduled(), 1u);
+  EXPECT_EQ(sim.heap_scheduled(), 1u);
+  sim.run_until(Time::seconds(500));
+  EXPECT_TRUE(bucket_fired);
+  EXPECT_FALSE(heap_fired);
+  EXPECT_EQ(sim.now(), Time::seconds(500));
+  sim.run();
+  EXPECT_TRUE(heap_fired);
+}
+
+TEST(Calendar, CancelBacklogPurgesAcrossRingLaps) {
+  // A tiny ring that wraps constantly: tombstones parked in a slot must
+  // be purged when the cursor revisits it on a later lap, and draining
+  // the queue must always leave the backlog empty.
+  QueueConfig cfg;
+  cfg.bucket_width = Time::millis(10);
+  cfg.buckets = 16;  // 160 ms window
+  Simulation sim{cfg};
+  std::uint64_t fired = 0;
+  for (int lap = 0; lap < 50; ++lap) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(
+          sim.schedule_in(Time::millis(5 + 10 * i), [&] { ++fired; }));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    EXPECT_LE(sim.cancel_backlog(), sim.pending() + 4u);
+    sim.run();
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_EQ(sim.cancel_backlog(), 0u);
+  }
+  EXPECT_EQ(fired, 50u * 4u);
+  EXPECT_GT(sim.calendar_scheduled(), 0u);
+}
+
+TEST(Calendar, SteeringHooksSpanBothStores) {
+  // enumerate_ready()/step_event() must treat a front instant split
+  // across heap and buckets as one ready set, and permute within it.
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::seconds(2000), [&] { order.push_back(0); });
+  sim.schedule_at(Time::seconds(1999), [&] {
+    sim.schedule_at(Time::seconds(2000), [&] { order.push_back(1); });
+  });
+  sim.run_until(Time::seconds(1999));
+  ASSERT_TRUE(sim.next_time().has_value());
+  EXPECT_EQ(*sim.next_time(), Time::seconds(2000));
+  const auto ready = sim.enumerate_ready();
+  ASSERT_EQ(ready.size(), 2u);  // heap resident + bucket resident
+  EXPECT_TRUE(sim.step_event(ready[1].id));  // bucket copy, permuted first
+  EXPECT_TRUE(sim.step_event(ready[0].id));
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
 TEST(PeriodicProcess, TicksAtInterval) {
   Simulation sim;
   PeriodicProcess proc{sim, Time::minutes(10), [] { return true; }};
