@@ -97,7 +97,7 @@ Outcome run_mode(bool chains) {
   // A short hold window makes the single-SE failure mode visible: a match
   // that cannot reserve space anywhere on its chain fails as disk-full
   // instead of waiting out the tape drain.
-  bcfg.max_hold = Time::hours(2);
+  bcfg.hold.deadline = Time::hours(2);
   grid.attach_broker("uscms", broker::PolicyKind::kQueueDepth, bcfg);
   grid.start_operations();
   sim.run_until(Time::minutes(1));

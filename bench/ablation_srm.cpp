@@ -95,10 +95,10 @@ Result run_trial(bool with_srm, std::uint64_t seed) {
           }
           req.dest_srm = &se;
           req.reservation = *r;
-          req.max_retries = 0;
+          req.retry.max_retries = 0;
         } else {
           req.dest_volume = &disk;
-          req.max_retries = 0;
+          req.retry.max_retries = 0;
         }
         const auto reservation = req.reservation;
         client.transfer(std::move(req),

@@ -84,8 +84,8 @@ int main() {
   bool ok = false;
   // A patient Condor-G: retry transient jobmanager flakes, as production
   // submit hosts were configured to.
-  gram::CondorG condor_g{sim, {.max_retries = 5,
-                               .retry_backoff = Time::minutes(5)}};
+  gram::CondorG condor_g{
+      sim, {.retry = {.base = Time::minutes(5), .max_retries = 5}}};
   condor_g.submit_to(site.gatekeeper(), std::move(job),
                      [&](const gram::GramResult& r) { ok = r.ok(); });
   sim.run_until(sim.now() + Time::days(1));

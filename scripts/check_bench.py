@@ -27,6 +27,7 @@ GATED = [
     "ablation_placement",
     "ablation_blackhole",
     "ablation_multise",
+    "ablation_outage",
     "grid30",
 ]
 
@@ -106,6 +107,38 @@ def check_multise(entry: dict) -> list[str]:
             f"{r['single_completed']}")
     if r["fallthroughs"] <= 0 or r["acdc_hops"] <= 0:
         problems.append("fallthrough hops not visible on bus/ACDC")
+    return problems
+
+
+def check_outage(entry: dict) -> list[str]:
+    """Re-verify the BENCH.md ablation_outage row from the raw numbers."""
+    problems = []
+    r = entry.get("result")
+    if not r:
+        return ["ablation_outage printed no result-json line"]
+    if r["degraded_completed"] < 0.9 * r["baseline_completed"]:
+        problems.append(
+            f"degraded completions {r['degraded_completed']} fell below "
+            f"90% of the no-outage baseline {r['baseline_completed']}")
+    if r["degraded_lost"] != 0 or r["degraded_pending"] != 0:
+        problems.append(
+            f"degraded mode lost registrations: lost={r['degraded_lost']} "
+            f"pending={r['degraded_pending']} (the journal must drain)")
+    if r["degraded_visible"] != r["degraded_registered"]:
+        problems.append(
+            f"degraded catalog incomplete: {r['degraded_visible']} of "
+            f"{r['degraded_registered']} registrations locatable")
+    if r["naive_lost"] == 0:
+        problems.append("naive baseline lost no registrations; the storm "
+                        "no longer exercises the outage window")
+    if r["naive_completed"] >= r["degraded_completed"]:
+        problems.append(
+            f"naive completions {r['naive_completed']} not below degraded "
+            f"{r['degraded_completed']}; stale-view brokering shows no win")
+    if r["stale_matches"] == 0 or r["degraded_replayed"] == 0:
+        problems.append("mitigations idle: stale_matches="
+                        f"{r['stale_matches']} replayed="
+                        f"{r['degraded_replayed']}")
     return problems
 
 
@@ -231,6 +264,8 @@ def main() -> int:
             problems.append(f"{name}: {entry.get('error', 'failed')}")
         if name == "ablation_multise" and entry["ok"]:
             problems.extend(check_multise(entry))
+        if name == "ablation_outage" and entry["ok"]:
+            problems.extend(check_outage(entry))
         if name == "grid30" and entry["ok"]:
             problems.extend(check_grid30(entry))
 

@@ -50,6 +50,28 @@ const std::vector<SiteView>& ResourceBroker::view(Time now) {
 }
 
 void ResourceBroker::refresh_view(Time now) {
+  // Collective-outage degradation: while the GIIS is down, matching
+  // continues against the frozen last-known-good view (flagged stale,
+  // rank-penalised) until the view is stale_view_max past its refresh;
+  // beyond that the view empties and view_outage_ turns "no site" into
+  // defer-not-fail.  stale_view_max zero = legacy behaviour: the
+  // rebuild below empties the view and jobs fail with kSubmitRejected.
+  if (!giis_.available() && cfg_.stale_view_max > Time::zero()) {
+    if (view_valid_ && now - view_refreshed_ <= cfg_.stale_view_max) {
+      view_stale_ = true;  // freeze: keep view_, epoch and caches intact
+      return;
+    }
+    view_stale_ = false;
+    if (!view_outage_) {
+      view_outage_ = true;
+      view_.clear();
+      view_index_.assign(ids_->sites.size(), -1);
+      ++view_epoch_;  // cached rank columns refer to the dropped view
+    }
+    return;  // re-checked on every view() call until the GIIS recovers
+  }
+  view_stale_ = false;
+  view_outage_ = false;
   view_.clear();
   auto snaps = giis_.find(
       [](const mds::SiteSnapshot&) { return true; }, now);
@@ -137,18 +159,6 @@ namespace {
 /// throughput when the SE is full right now (matches the archive
 /// drain cycles the placement ablation models).
 constexpr double kDrainLookaheadHours = 4.0;
-
-/// Deterministic [0, 1) hash of a counter (splitmix64 finalizer).  Used
-/// for hold-retry jitter instead of an rng_ draw: drawing would shift
-/// the stochastic policies' weighted-pick stream and perturb match logs
-/// that never held.
-double jitter01(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return static_cast<double>(x >> 11) * 0x1.0p-53;
-}
 
 /// Storage-headroom rank factor for `need_gb` of local footprint: sites
 /// whose disks barely cover it are downweighted, and sites that would
@@ -331,6 +341,11 @@ double ResourceBroker::effective_score(const JobSpec& spec,
   // hint stands on its own: a provisionally co-located consumer carries
   // no folded stage-in bytes, yet its data is just as immobile.
   if (site.id == pass.source) score *= cfg_.source_affinity;
+  // Matching from a frozen stale view: a uniform penalty, so argmax
+  // order and stochastic draw proportions are untouched (and the rank
+  // cache stays bit-identical -- the factor is applied outside it), but
+  // logged scores show the decision was made on degraded information.
+  if (view_stale_) score *= cfg_.stale_rank_penalty;
   return score;
 }
 
@@ -677,6 +692,10 @@ void ResourceBroker::build_candidate_bits(Pending& p) {
 std::vector<const SiteView*> ResourceBroker::admissible(
     Pending& p, Time now, const RankPass& pass, bool* any_deferred) {
   view(now);
+  // A GIIS outage past the staleness bound empties the pool, but the
+  // sites are not gone -- the index is.  Defer so the job waits for the
+  // index to recover instead of failing with kSubmitRejected.
+  if (view_outage_) *any_deferred = true;
   std::vector<const SiteView*> out;
   auto consider = [&](const SiteView& v) {
     if (auto it = p.excluded_until.find(v.site);
@@ -746,6 +765,10 @@ void ResourceBroker::record_match(const Pending& p, const SiteView& site,
   d.score = score;
   log_.push_back(d);
   publish_counter(metric::kMatches, log_.size());
+  if (view_stale_) {
+    ++stale_matches_;
+    publish_counter(metric::kStaleMatches, stale_matches_);
+  }
   if (accounting_ != nullptr) {
     accounting_->insert_match({d.seq, d.at, d.vo, d.app, d.policy, d.site,
                                d.candidates, d.rebind, d.score});
@@ -760,7 +783,7 @@ void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
 
   if (pool.empty()) {
     if (any_deferred) {
-      if (now - p->created > cfg_.max_hold) {
+      if (cfg_.hold.budget_exhausted(now - p->created)) {
         // Saturated too long: surface as an overload, the failure class
         // the broker exists to prevent (or as disk-full when the last
         // defer was a full destination SE).
@@ -801,7 +824,7 @@ void ResourceBroker::try_match(const std::shared_ptr<Pending>& p) {
   if (!ensure_lease(*p, now)) {
     ++storage_holds_;
     p->storage_blocked = true;
-    if (now - p->created > cfg_.max_hold) {
+    if (cfg_.hold.budget_exhausted(now - p->created)) {
       BrokeredResult r;
       r.matched = true;  // matchable; storage refused it (see above)
       r.rebinds = p->rebinds;
@@ -920,7 +943,7 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
       health_ != nullptr && health_->quarantined(p->bound_site);
   p->last = r;
   p->excluded_until[p->bound_site] = sim_.now() + cfg_.failed_site_cooloff;
-  if (!free_rebind && p->rebinds >= cfg_.max_rebinds) {
+  if (!free_rebind && !cfg_.rebind.allows(p->rebinds)) {
     BrokeredResult out;
     out.gram = r;
     out.site = p->bound_site;
@@ -933,8 +956,7 @@ void ResourceBroker::on_result(const std::shared_ptr<Pending>& p,
   if (!free_rebind) ++p->rebinds;
   ++rebinds_;
   publish_counter(metric::kRebinds, rebinds_);
-  double backoff = cfg_.rebind_backoff.to_seconds();
-  for (int i = 1; i < p->rebinds; ++i) backoff *= cfg_.backoff_factor;
+  const double backoff = cfg_.rebind.delay_seconds(p->rebinds);
   auto self = p;
   sim::Simulation::ScopedTag tag{sim_, "rb",
                                  sim::Simulation::ScopedTag::kAppend};
@@ -997,10 +1019,7 @@ void ResourceBroker::hold(const std::shared_ptr<Pending>& p) {
   // Per-job retry with deterministic jitter: a saturated grid holds many
   // jobs in the same tick, and a shared timer would re-release them as
   // one thundering herd against the first site to free a slot.
-  double delay = cfg_.hold_retry.to_seconds();
-  if (cfg_.hold_retry_jitter > 0.0) {
-    delay *= 1.0 + cfg_.hold_retry_jitter * jitter01(++hold_seq_ ^ cfg_.rng_seed);
-  }
+  const double delay = cfg_.hold.delay_seconds(1, ++hold_seq_ ^ cfg_.rng_seed);
   auto self = p;
   sim::Simulation::ScopedTag tag{sim_, "rb",
                                  sim::Simulation::ScopedTag::kAppend};

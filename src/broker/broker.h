@@ -49,6 +49,7 @@
 #include "monitoring/monalisa.h"
 #include "placement/ledger.h"
 #include "sim/simulation.h"
+#include "util/retry.h"
 #include "util/rng.h"
 
 namespace grid3::broker {
@@ -66,11 +67,12 @@ struct BrokerConfig {
   std::string name = "grid3-broker";
   /// Site-view refresh period (staleness the matchmaker tolerates).
   Time view_ttl = Time::minutes(5);
-  /// Late binding: re-matches allowed per job after transient failures.
-  int max_rebinds = 4;
-  /// First re-match delay; doubles per rebind.
-  Time rebind_backoff = Time::minutes(2);
-  double backoff_factor = 2.0;
+  /// Late binding: the re-match schedule after transient failures.
+  /// `max_retries` rebinds per job, first delay `base`, growing by
+  /// `factor` per further rebind.
+  util::RetryPolicy rebind{.base = Time::minutes(2),
+                           .factor = 2.0,
+                           .max_retries = 4};
   /// How long a failed site stays excluded for the job that failed there.
   Time failed_site_cooloff = Time::minutes(15);
   /// Per-gatekeeper throttle: max broker submissions in flight per site.
@@ -82,18 +84,17 @@ struct BrokerConfig {
   /// brokered submissions (each job contributes its own 1-4x
   /// gram::staging_load_factor, matching the gatekeeper's load model).
   double inflight_load_weight = 0.45;
-  /// Held jobs re-attempt matching on this period (also kicked whenever
-  /// an in-flight submission completes).
-  Time hold_retry = Time::minutes(5);
-  /// Deterministic per-hold jitter fraction on hold_retry: each held job
-  /// re-checks at hold_retry * (1 + jitter * u) with u in [0, 1) hashed
-  /// from a monotone hold counter (no RNG draw, so stochastic-policy
-  /// match logs are unperturbed).  Simultaneous holds across a gang
-  /// therefore re-probe a freed SE staggered instead of in lockstep.
-  /// 0 disables the jitter.
-  double hold_retry_jitter = 0.25;
-  /// A job held longer than this fails back to the submitter.
-  Time max_hold = Time::hours(12);
+  /// Held jobs re-attempt matching on this schedule (also kicked
+  /// whenever an in-flight submission completes): period `base`,
+  /// stretched per hold by up to `jitter` fraction with u in [0, 1)
+  /// hashed from a monotone hold counter (no RNG draw, so
+  /// stochastic-policy match logs are unperturbed -- simultaneous holds
+  /// across a gang re-probe a freed SE staggered instead of in
+  /// lockstep; jitter 0 disables).  A job held past `deadline` fails
+  /// back to the submitter.
+  util::RetryPolicy hold{.base = Time::minutes(5),
+                         .jitter = 0.25,
+                         .deadline = Time::hours(12)};
   /// Acquire a stage-out lease (SRM space at the destination SE) before
   /// binding jobs that carry a placement intent; false = the no-lease
   /// baseline (disk-full discovered at stage-out time).  Only effective
@@ -111,6 +112,20 @@ struct BrokerConfig {
   /// not change; false forces the full per-match rescore (the
   /// equivalence baseline).
   bool incremental_rank = true;
+  /// Graceful degradation under a GIIS outage: when the index answers
+  /// nothing (down, or every snapshot aged out), keep matching against
+  /// the last-known-good view for up to this long past its refresh
+  /// instead of emptying the pool.  Matches made from the frozen view
+  /// are counted as broker.stale_matches.  Once the view is older than
+  /// this bound, the broker stops trusting it and *holds* new work
+  /// (defer-not-fail) until the index recovers, rather than matching
+  /// blind or failing jobs with kSubmitRejected.  Time::zero() disables
+  /// the freeze entirely (legacy behaviour: empty view, rejected jobs).
+  Time stale_view_max = Time::minutes(30);
+  /// Rank multiplier applied to every site while matching from a frozen
+  /// stale view (uniform, so argmax order and stochastic draw
+  /// proportions are unchanged -- it only shows up in logged scores).
+  double stale_rank_penalty = 0.5;
   std::uint64_t rng_seed = 0xb20ce5;
 };
 
@@ -122,6 +137,7 @@ inline constexpr const char* kRebinds = "broker.rebinds";
 inline constexpr const char* kHolds = "broker.holds";
 inline constexpr const char* kGangMatches = "broker.gang_matches";
 inline constexpr const char* kGangSplits = "broker.gang_splits";
+inline constexpr const char* kStaleMatches = "broker.stale_matches";
 }  // namespace metric
 
 /// One DAG level submitted for co-located placement: the members'
@@ -321,6 +337,14 @@ class ResourceBroker {
   /// Gangs placed (whole or split) and the subset that had to split.
   [[nodiscard]] std::uint64_t gang_matches() const { return gang_matches_; }
   [[nodiscard]] std::uint64_t gang_splits() const { return gang_splits_; }
+  /// Matches decided against a frozen last-known-good view while the
+  /// GIIS was down (the degraded-mode output of stale_view_max).
+  [[nodiscard]] std::uint64_t stale_matches() const { return stale_matches_; }
+  /// True while matching runs against the frozen stale view.
+  [[nodiscard]] bool view_stale() const { return view_stale_; }
+  /// True while the GIIS outage has outlived the staleness bound: the
+  /// broker is deferring (holding) rather than matching.
+  [[nodiscard]] bool view_outage() const { return view_outage_; }
   /// Rank passes (one candidate-ordering each: per-job matches, choose
   /// calls, gang matches).
   [[nodiscard]] std::uint64_t match_cycles() const { return match_cycles_; }
@@ -530,6 +554,12 @@ class ResourceBroker {
   std::uint64_t view_epoch_ = 0;
   Time view_refreshed_;
   bool view_valid_ = false;
+  /// The current view_ is a frozen last-known-good copy served while
+  /// the GIIS answers nothing (within stale_view_max of its refresh).
+  bool view_stale_ = false;
+  /// The GIIS outage outlived stale_view_max (or struck before any view
+  /// existed): admissibility defers everything instead of rejecting.
+  bool view_outage_ = false;
 
   core::IdMap<core::SiteId, int> inflight_;
   /// Per-site sum of in-flight staging factors (predicted-load input).
@@ -559,6 +589,7 @@ class ResourceBroker {
   std::uint64_t submissions_ = 0;
   std::uint64_t gang_matches_ = 0;
   std::uint64_t gang_splits_ = 0;
+  std::uint64_t stale_matches_ = 0;
   std::uint64_t match_cycles_ = 0;
   std::uint64_t rank_evals_ = 0;
   std::uint64_t rank_cache_hits_ = 0;

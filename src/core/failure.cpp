@@ -11,6 +11,11 @@ const char* to_string(Incident i) {
     case Incident::kNetworkCut: return "network-cut";
     case Incident::kServiceCrash: return "service-crash";
     case Incident::kRollover: return "worker-rollover";
+    case Incident::kGiisOutage: return "giis-outage";
+    case Incident::kRlsOutage: return "rls-outage";
+    case Incident::kMonitorOutage: return "monalisa-outage";
+    case Incident::kTicketQueueOutage: return "ticket-queue-outage";
+    case Incident::kScheduledDowntime: return "scheduled-downtime";
   }
   return "?";
 }
@@ -181,6 +186,139 @@ void FailureInjector::detach(const std::string& site_name) {
   it->second->active = false;
   for (auto& loop : it->second->loops) loop->stop();
   // Keep the entry (inactive) so in-flight lambdas resolve to nullptr.
+}
+
+void FailureInjector::attach_collective(const std::string& name,
+                                        CollectiveTargets targets,
+                                        CollectiveFailureRates rates) {
+  auto c = std::make_unique<AttachedCollective>();
+  c->targets = targets;
+  c->rates = rates;
+  collectives_[name] = std::move(c);
+
+  auto alive = [this, name]() -> AttachedCollective* {
+    auto it = collectives_.find(name);
+    return it != collectives_.end() && it->second->active ? it->second.get()
+                                                          : nullptr;
+  };
+
+  // One generic Poisson outage loop per service class.  `select` pulls
+  // the class's target out of the bundle (null = class not armed here);
+  // `down`/`up` flip its availability.  Classes whose MTBF is zero are
+  // never armed, so they consume no RNG draws at all.
+  auto arm = [this, alive](Incident kind, const char* issue, Time mtbf,
+                                 Time repair_mean, auto select, auto down,
+                                 auto up) {
+    AttachedCollective* c0 = alive();
+    if (c0 == nullptr || mtbf <= Time::zero() || select(*c0) == nullptr) {
+      return;
+    }
+    auto schedule = [this, alive, kind, issue, mtbf, repair_mean, select,
+                     down, up](auto&& self) -> void {
+      AttachedCollective* c = alive();
+      if (c == nullptr) return;
+      const Time gap = Time::hours(rng_.exponential(mtbf.to_hours()));
+      sim_.schedule_in(gap, [this, alive, kind, issue, repair_mean, select,
+                             down, up, self] {
+        AttachedCollective* c = alive();
+        if (c == nullptr || select(*c) == nullptr) return;
+        record(kind);
+        down(*select(*c));
+        // The ticket goes against the service name; when the down
+        // service IS the ticket queue, open() drops it (id 0) -- the
+        // operators' view goes dark, exactly the modeled failure.
+        const auto ticket = igoc_.tickets().open(issue, issue, sim_.now());
+        const Time repair =
+            Time::hours(rng_.exponential(repair_mean.to_hours()));
+        sim_.schedule_in(repair, [this, alive, ticket, select, up] {
+          if (AttachedCollective* c2 = alive()) {
+            if (auto* t = select(*c2)) up(*t);
+          }
+          igoc_.tickets().close(ticket, sim_.now());
+        });
+        self(self);
+      });
+    };
+    schedule(schedule);
+  };
+
+  arm(
+      Incident::kGiisOutage, "giis-outage", rates.giis_outage_mtbf,
+      rates.giis_repair_mean,
+      [](AttachedCollective& c) { return c.targets.giis; },
+      [](mds::Giis& g) { g.set_available(false); },
+      [](mds::Giis& g) { g.set_available(true); });
+  arm(
+      Incident::kRlsOutage, "rls-outage", rates.rls_outage_mtbf,
+      rates.rls_repair_mean,
+      [](AttachedCollective& c) { return c.targets.rls; },
+      [](rls::ReplicaLocationService& r) {
+        r.set_available(false);
+        r.rli().set_available(false);
+      },
+      [this](rls::ReplicaLocationService& r) {
+        r.set_available(true);
+        r.rli().set_available(true);
+        r.replay(sim_.now());  // drain the write-ahead journal
+      });
+  arm(
+      Incident::kMonitorOutage, "monalisa-outage", rates.monitor_outage_mtbf,
+      rates.monitor_repair_mean,
+      [](AttachedCollective& c) { return c.targets.monitor; },
+      [](monitoring::MonalisaRepository& m) { m.set_available(false); },
+      [](monitoring::MonalisaRepository& m) { m.set_available(true); });
+  arm(
+      Incident::kTicketQueueOutage, "ticket-queue-outage",
+      rates.ticket_queue_mtbf, rates.ticket_queue_repair_mean,
+      [](AttachedCollective& c) { return c.targets.tickets; },
+      [](TroubleTicketSystem& t) { t.set_available(false); },
+      [](TroubleTicketSystem& t) { t.set_available(true); });
+}
+
+void FailureInjector::detach_collective(const std::string& name) {
+  auto it = collectives_.find(name);
+  if (it == collectives_.end()) return;
+  it->second->active = false;
+  // Keep the entry (inactive) so in-flight lambdas resolve to nullptr.
+}
+
+bool FailureInjector::set_target_up(const std::string& target, bool up) {
+  if (auto it = attached_.find(target);
+      it != attached_.end() && it->second->active) {
+    Site& site = *it->second->site;
+    site.gatekeeper().set_available(up);
+    site.gris().set_available(up);
+    return true;
+  }
+  if (auto it = collectives_.find(target);
+      it != collectives_.end() && it->second->active) {
+    CollectiveTargets& t = it->second->targets;
+    if (t.giis != nullptr) t.giis->set_available(up);
+    if (t.rls != nullptr) {
+      t.rls->set_available(up);
+      t.rls->rli().set_available(up);
+      if (up) t.rls->replay(sim_.now());
+    }
+    if (t.monitor != nullptr) t.monitor->set_available(up);
+    if (t.tickets != nullptr) t.tickets->set_available(up);
+    return true;
+  }
+  return false;
+}
+
+void FailureInjector::schedule_downtime(DowntimeWindow w) {
+  // Resolution is deferred to the window start, so an ops calendar can
+  // be loaded before the sites/services it names are attached.
+  sim_.schedule_at(w.start, [this, w] {
+    if (!set_target_up(w.target, false)) return;  // nothing attached
+    record(Incident::kScheduledDowntime);
+    const auto ticket =
+        igoc_.tickets().open(w.target, "scheduled-maintenance", sim_.now());
+    sim_.schedule_in(w.duration, [this, w, ticket] {
+      set_target_up(w.target, true);
+      igoc_.tickets().close(ticket, sim_.now());
+    });
+  });
 }
 
 std::size_t FailureInjector::incidents(Incident kind) const {

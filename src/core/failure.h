@@ -9,6 +9,18 @@
 // Each attached site gets independent Poisson processes per failure
 // class; every incident opens an iGOC trouble ticket and repairs close
 // it after a repair-time distribution.
+//
+// Collective services fail too (section 5/6: the index, the replica
+// catalog, the monitoring collectors, even the ticket queue): attach
+// them via attach_collective and per-class Poisson outage processes
+// take the whole service down grid-wide.  Every collective MTBF
+// defaults to Time::zero() = disabled, so existing seeds draw nothing
+// extra and stay byte-identical until a scenario opts in.
+//
+// Scheduled downtime (the INFN-GRID-style maintenance calendar) rides
+// alongside the random processes: schedule_downtime() takes absolute
+// (target, start, duration) windows, consumes no RNG, and opens a
+// "scheduled-maintenance" ticket per window.
 #pragma once
 
 #include <map>
@@ -18,6 +30,7 @@
 
 #include "core/igoc.h"
 #include "core/site.h"
+#include "rls/rls.h"
 #include "sim/simulation.h"
 #include "util/distributions.h"
 #include "util/rng.h"
@@ -49,6 +62,43 @@ struct FailureRates {
   [[nodiscard]] FailureRates scaled(double reliability) const;
 };
 
+/// Outage rates for one attached collective-service bundle.  A
+/// Time::zero() MTBF disables that class -- no Poisson draw is made, so
+/// arming a bundle with all-zero rates never perturbs existing seeds.
+struct CollectiveFailureRates {
+  Time giis_outage_mtbf = Time::zero();
+  Time giis_repair_mean = Time::hours(2);
+
+  Time rls_outage_mtbf = Time::zero();
+  Time rls_repair_mean = Time::hours(3);
+
+  Time monitor_outage_mtbf = Time::zero();
+  Time monitor_repair_mean = Time::hours(1);
+
+  Time ticket_queue_mtbf = Time::zero();
+  Time ticket_queue_repair_mean = Time::hours(4);
+};
+
+/// The services one attach_collective call covers (null = not part of
+/// this bundle; its class never fires even with a non-zero MTBF).
+struct CollectiveTargets {
+  mds::Giis* giis = nullptr;
+  rls::ReplicaLocationService* rls = nullptr;
+  monitoring::MonalisaRepository* monitor = nullptr;
+  TroubleTicketSystem* tickets = nullptr;
+};
+
+/// One ops-calendar maintenance window.  `target` names an attached
+/// site (gatekeeper + GRIS go down for the window) or an attached
+/// collective bundle (its services go down); `start` is absolute sim
+/// time.  Resolution happens at fire time, so windows may be scheduled
+/// before the target is attached.
+struct DowntimeWindow {
+  std::string target;
+  Time start;
+  Time duration;
+};
+
 /// Kinds of incidents, for accounting.
 enum class Incident {
   kDiskFill,
@@ -56,6 +106,11 @@ enum class Incident {
   kNetworkCut,
   kServiceCrash,
   kRollover,
+  kGiisOutage,         ///< VO GIIS / top index down grid-wide
+  kRlsOutage,          ///< replica catalog endpoint + RLI down
+  kMonitorOutage,      ///< MonALISA collector down
+  kTicketQueueOutage,  ///< the iGOC ticket queue itself down
+  kScheduledDowntime,  ///< ops-calendar maintenance window
 };
 
 [[nodiscard]] const char* to_string(Incident i);
@@ -73,6 +128,20 @@ class FailureInjector {
   /// Stop injecting for a site (e.g. it stabilized / was withdrawn).
   void detach(const std::string& site_name);
 
+  /// Attach a collective-service bundle under `name`; outage classes
+  /// with a non-zero MTBF start their Poisson processes immediately.
+  /// An RLS repair also replays its registration journal.
+  void attach_collective(const std::string& name, CollectiveTargets targets,
+                         CollectiveFailureRates rates);
+  /// Stop injecting for a collective bundle.
+  void detach_collective(const std::string& name);
+
+  /// Queue an ops-calendar maintenance window (no RNG involved).  The
+  /// restore at window end is unconditional: a window overlapping a
+  /// random incident's repair may bring the service back early -- real
+  /// maintenance does that too.
+  void schedule_downtime(DowntimeWindow w);
+
   [[nodiscard]] std::size_t incidents(Incident kind) const;
   [[nodiscard]] std::size_t total_incidents() const;
 
@@ -84,6 +153,16 @@ class FailureInjector {
     bool active = true;
   };
 
+  struct AttachedCollective {
+    CollectiveTargets targets;
+    CollectiveFailureRates rates;
+    bool active = true;
+  };
+
+  /// Take a downtime target (site or collective bundle) down or up.
+  /// Returns false when the name resolves to nothing attached.
+  bool set_target_up(const std::string& target, bool up);
+
   void arm_poisson(Attached& a, Time mtbf,
                    const std::function<void(Attached&)>& fire);
   void record(Incident kind) { ++counts_[kind]; }
@@ -93,6 +172,7 @@ class FailureInjector {
   Igoc& igoc_;
   util::Rng rng_;
   std::map<std::string, std::unique_ptr<Attached>> attached_;
+  std::map<std::string, std::unique_ptr<AttachedCollective>> collectives_;
   std::map<Incident, std::size_t> counts_;
 };
 

@@ -25,7 +25,7 @@ Grid3::Grid3(sim::Simulation& sim, std::uint64_t seed)
       // Fail fast at the Condor-G layer: DAGMan owns retries, so every
       // failed jobmanager attempt is visible to ACDC accounting, as on
       // the real grid.
-      condor_g_{sim, {.max_retries = 0, .retry_backoff = Time::minutes(5)}},
+      condor_g_{sim, {.retry = {.base = Time::minutes(5), .max_retries = 0}}},
       failures_{sim, net_, igoc_, util::Rng{seed ^ 0xfa11u}} {
   pacman::load_vdt_bundle(igoc_.pacman_cache());
 }
@@ -86,6 +86,24 @@ mds::Giis* Grid3::vo_giis(const std::string& vo_name) {
 workflow::DagMan& Grid3::dagman(const std::string& vo_name) {
   add_vo(vo_name);
   return *vos_.at(vo_name).dagman;
+}
+
+void Grid3::arm_vo_collective_failures(const std::string& vo_name,
+                                       CollectiveFailureRates rates) {
+  add_vo(vo_name);
+  VoServices& svc = vos_.at(vo_name);
+  CollectiveTargets targets;
+  targets.giis = svc.giis.get();
+  targets.rls = svc.rls.get();
+  failures_.attach_collective(vo_name + "-collective", targets, rates);
+}
+
+void Grid3::arm_igoc_collective_failures(CollectiveFailureRates rates) {
+  CollectiveTargets targets;
+  targets.giis = &igoc_.top_giis();
+  targets.monitor = &igoc_.ml_repository();
+  targets.tickets = &igoc_.tickets();
+  failures_.attach_collective("igoc-collective", targets, rates);
 }
 
 broker::ResourceBroker& Grid3::attach_broker(const std::string& vo_name,

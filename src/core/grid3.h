@@ -114,6 +114,17 @@ class Grid3 final : public workflow::SiteServices,
   [[nodiscard]] FailureInjector& failures() { return failures_; }
   [[nodiscard]] util::Rng& rng() { return rng_; }
 
+  /// Arm collective-outage injection for a VO's services (its GIIS and
+  /// RLS) under the bundle name "<vo>-collective".  Classes with a zero
+  /// MTBF stay disabled; the default rates are all zero, so arming is
+  /// inert until a scenario sets rates.
+  void arm_vo_collective_failures(const std::string& vo_name,
+                                  CollectiveFailureRates rates);
+  /// Arm collective-outage injection for the iGOC's central services
+  /// (top GIIS, MonALISA repository, ticket queue) under the bundle
+  /// name "igoc-collective".
+  void arm_igoc_collective_failures(CollectiveFailureRates rates);
+
   /// Per-VO DAGMan (bound to that VO's RLS).
   [[nodiscard]] workflow::DagMan& dagman(const std::string& vo_name);
 

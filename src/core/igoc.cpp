@@ -4,6 +4,10 @@ namespace grid3::core {
 
 std::uint64_t TroubleTicketSystem::open(const std::string& site,
                                         const std::string& issue, Time now) {
+  if (!up_) {
+    ++dropped_;
+    return 0;
+  }
   TroubleTicket t;
   t.id = next_id_++;
   t.site = site;

@@ -36,9 +36,20 @@ struct TroubleTicket {
 
 class TroubleTicketSystem {
  public:
+  /// Returns the ticket id, or 0 while the queue is down (the incident
+  /// goes unrecorded; close(0) is a safe no-op, so callers can hold the
+  /// returned id blindly).
   std::uint64_t open(const std::string& site, const std::string& issue,
                      Time now);
   bool close(std::uint64_t id, Time now);
+
+  /// "Used intermittently during the project": the queue itself goes
+  /// down.  While down, open() drops the ticket (counted) -- operators
+  /// flew blind, which is exactly the degradation the paper reports.
+  void set_available(bool up) { up_ = up; }
+  [[nodiscard]] bool available() const { return up_; }
+  /// Tickets dropped while the queue was down.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
 
   [[nodiscard]] std::size_t open_count() const;
   [[nodiscard]] std::size_t total() const { return tickets_.size(); }
@@ -51,6 +62,8 @@ class TroubleTicketSystem {
  private:
   std::vector<TroubleTicket> tickets_;
   std::uint64_t next_id_ = 1;
+  bool up_ = true;
+  std::size_t dropped_ = 0;
 };
 
 /// Central services bundle.  Owned by the Grid3 fabric; sites and VO

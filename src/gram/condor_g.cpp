@@ -16,7 +16,7 @@ bool is_transient(GramStatus s) {
 
 void CondorG::submit_to(Gatekeeper& gk, GramJob job, GramCallback done) {
   ++submissions_;
-  attempt(gk, std::move(job), std::move(done), cfg_.max_retries);
+  attempt(gk, std::move(job), std::move(done), cfg_.retry.max_retries);
 }
 
 void CondorG::attempt(Gatekeeper& gk, GramJob job, GramCallback done,
@@ -28,8 +28,8 @@ void CondorG::attempt(Gatekeeper& gk, GramJob job, GramCallback done,
                              tries_left](const GramResult& r) {
     if (!r.ok() && is_transient(r.status) && tries_left > 0) {
       ++retries_;
-      sim_.schedule_in(cfg_.retry_backoff, [this, &gk, retry_job, cb,
-                                            tries_left] {
+      sim_.schedule_in(cfg_.retry.delay(1), [this, &gk, retry_job, cb,
+                                             tries_left] {
         attempt(gk, *retry_job, std::move(*cb), tries_left - 1);
       });
       return;

@@ -11,12 +11,13 @@
 
 #include "gram/gatekeeper.h"
 #include "sim/simulation.h"
+#include "util/retry.h"
 
 namespace grid3::gram {
 
 struct CondorGConfig {
-  int max_retries = 3;
-  Time retry_backoff = Time::minutes(5);
+  /// Transient-refusal retry schedule (flat backoff).
+  util::RetryPolicy retry{.base = Time::minutes(5), .max_retries = 3};
 };
 
 [[nodiscard]] bool is_transient(GramStatus s);

@@ -87,12 +87,12 @@ void GridFtpClient::finish(Attempt att, const net::FlowResult& flow) {
       return;
     }
     case net::FlowStatus::kFailedNetworkInterruption: {
-      if (att.attempts <= att.req.max_retries) {
+      if (att.req.retry.allows(att.attempts - 1)) {
         if (logger_ != nullptr) {
           logger_->log(sim_.now(), "url-copy", "transfer.retry", req.lfn,
                        static_cast<double>(att.attempts));
         }
-        const Time backoff = att.req.retry_backoff;
+        const Time backoff = att.req.retry.delay(att.attempts);
         auto shared = std::make_shared<Attempt>(std::move(att));
         sim_.schedule_in(backoff, [this, shared] {
           begin_attempt(std::move(*shared));

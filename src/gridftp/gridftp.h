@@ -18,6 +18,7 @@
 #include "sim/simulation.h"
 #include "srm/disk.h"
 #include "srm/srm.h"
+#include "util/retry.h"
 #include "util/units.h"
 
 namespace grid3::gridftp {
@@ -81,8 +82,8 @@ struct TransferRequest {
   /// and the TOCTOU window is closed.
   srm::StorageResourceManager* dest_srm = nullptr;
   srm::ReservationId reservation = 0;
-  int max_retries = 2;
-  Time retry_backoff = Time::minutes(2);
+  /// Retry schedule for network-interrupted attempts (flat backoff).
+  util::RetryPolicy retry{.base = Time::minutes(2), .max_retries = 2};
 };
 
 struct TransferRecord {

@@ -1,8 +1,11 @@
 #include "mc/invariants.h"
 
+#include <string_view>
+
 #include "broker/broker.h"
 #include "health/health.h"
 #include "placement/ledger.h"
+#include "rls/rls.h"
 
 namespace grid3::mc {
 
@@ -79,6 +82,40 @@ std::optional<std::string> BreakerInvariant::check(bool quiescent) {
       return "site " + site +
              " still quarantined at quiescence: the breaker lost it (no "
              "half-open probe or readmission ever fired)";
+    }
+  }
+  return std::nullopt;
+}
+
+JournalInvariant::JournalInvariant(rls::ReplicaLocationService& rls)
+    : rls_{rls} {
+  rls_.journal().set_audit(
+      [this](const rls::JournalEntry& e, const char* event) {
+        const std::string_view ev{event};
+        if (ev != "apply" && ev != "replay") return;
+        if (++applies_[e.id] > 1 && double_apply_.empty()) {
+          double_apply_ = "entry " + std::to_string(e.id) + " (" + e.site +
+                          "/" + e.lfn + ") applied again via \"" +
+                          std::string{ev} + "\"";
+        }
+      });
+}
+
+std::optional<std::string> JournalInvariant::check(bool quiescent) {
+  if (!double_apply_.empty()) {
+    return "journal exactly-once violated: " + double_apply_;
+  }
+  if (!quiescent || !rls_.available()) return std::nullopt;
+  for (const rls::JournalEntry& e : rls_.journal().entries()) {
+    const rls::LocalReplicaCatalog* lrc = rls_.find_lrc(e.site);
+    if (!e.applied && lrc != nullptr && lrc->available()) {
+      return "journal entry " + std::to_string(e.id) + " (" + e.site + "/" +
+             e.lfn + ") still pending at quiescence with endpoint and "
+             "LRC reachable (no replay ever drained it)";
+    }
+    if (e.applied && (lrc == nullptr || !lrc->has(e.lfn))) {
+      return "registration lost: journaled " + e.site + "/" + e.lfn +
+             " marked applied but absent from its authoritative LRC";
     }
   }
   return std::nullopt;

@@ -21,6 +21,13 @@
 //      comparison); MatchQuarantineInvariant rounds out the breaker
 //      story on the broker side: no match decision ever lands on a site
 //      the breaker currently excludes.
+//   5. JournalInvariant       -- the RLS write-ahead journal applies
+//      every registration exactly once: taps the journal's audit hook
+//      (a second "apply"/"replay" for one entry id IS a double-apply),
+//      and at quiescence with the endpoint up no entry may still be
+//      pending against a reachable LRC, and every journaled (site, lfn)
+//      must actually be present in its authoritative catalog -- the
+//      no-lost-registration guarantee across outage/recovery orders.
 //
 // Adding an invariant: subclass mc::Invariant, read the real service
 // state (add a const accessor to the service if one is missing -- never
@@ -43,6 +50,9 @@ class SiteHealthMonitor;
 }
 namespace grid3::placement {
 class PlacementLedger;
+}
+namespace grid3::rls {
+class ReplicaLocationService;
 }
 
 namespace grid3::mc {
@@ -79,6 +89,19 @@ class BreakerInvariant : public Invariant {
 
  private:
   health::SiteHealthMonitor& health_;
+};
+
+class JournalInvariant : public Invariant {
+ public:
+  /// Installs itself as the registration journal's audit tap.
+  explicit JournalInvariant(rls::ReplicaLocationService& rls);
+  [[nodiscard]] const char* name() const override { return "rls-journal"; }
+  std::optional<std::string> check(bool quiescent) override;
+
+ private:
+  rls::ReplicaLocationService& rls_;
+  std::map<std::uint64_t, int> applies_;  ///< entry id -> apply events seen
+  std::string double_apply_;              ///< first exactly-once breach seen
 };
 
 class MatchQuarantineInvariant : public Invariant {

@@ -1,10 +1,12 @@
 #include "mc/scenarios.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "broker/broker.h"
 #include "broker/job_spec.h"
@@ -14,6 +16,7 @@
 #include "mc/invariants.h"
 #include "pacman/vdt.h"
 #include "placement/ledger.h"
+#include "rls/rls.h"
 #include "srm/disk.h"
 
 namespace grid3::mc {
@@ -91,6 +94,88 @@ class BreakerRun final : public ScenarioRun {
   std::unique_ptr<health::SiteHealthMonitor> monitor_;
   std::unique_ptr<BreakerInvariant> invariant_;
   std::map<std::string, int> probe_count_;
+};
+
+// ---------------------------------------------------------------------
+// rls-journal: registrations ride out an RLS outage in the write-ahead
+// journal; recovery replay races the periodic refresh's own replay.
+// ---------------------------------------------------------------------
+
+class RlsOutageRun final : public ScenarioRun {
+ public:
+  RlsOutageRun() : rls_{"usatlas"} {
+    rls_.lrc_for("ALPHA");  // the target catalog exists before the storm
+    invariant_ = std::make_unique<JournalInvariant>(rls_);
+
+    {  // the collective outage: endpoint and RLI down together
+      sim::Simulation::ScopedTag tag{sim_, "outage|rls"};
+      sim_.schedule_at(Time::seconds(10), [this] {
+        rls_.set_available(false);
+        rls_.rli().set_available(false);
+      });
+    }
+    // Two independent registration streams land at the same instant mid
+    // outage.  Their journal ids permute across orders, so the digest
+    // below serializes entries by (site, lfn), not log order.
+    for (const char* job : {"a", "b"}) {
+      sim::Simulation::ScopedTag tag{sim_, std::string{"job:"} + job};
+      sim_.schedule_at(Time::seconds(20), [this, job] {
+        rls::Replica r;
+        r.pfn = std::string{"gsiftp://ALPHA/out-"} + job;
+        r.size = Bytes::mb(100);
+        r.registered = sim_.now();
+        rls_.register_replica("ALPHA", std::string{"out-"} + job,
+                              std::move(r), sim_.now());
+      });
+    }
+    {  // repair: endpoint back up, then the recovery replay
+      sim::Simulation::ScopedTag tag{sim_, "repair|rls"};
+      sim_.schedule_at(Time::seconds(60), [this] {
+        rls_.set_available(true);
+        rls_.rli().set_available(true);
+        rls_.replay(sim_.now());
+      });
+    }
+    {  // the 20-min ops refresh (also a replay trigger) hits the same
+      // tick as the repair; both orders must drain the journal exactly
+      // once -- refresh-first is a no-op against the down endpoint.
+      sim::Simulation::ScopedTag tag{sim_, "ops-refresh|rls"};
+      sim_.schedule_at(Time::seconds(60),
+                       [this] { rls_.refresh_all(sim_.now()); });
+    }
+  }
+
+  sim::Simulation& sim() override { return sim_; }
+  std::vector<Invariant*> invariants() override { return {invariant_.get()}; }
+
+  std::string digest() override {
+    std::ostringstream out;
+    out << "size=" << rls_.journal().size()
+        << " pending=" << rls_.journal().pending()
+        << " replayed=" << rls_.journal().replayed()
+        << " lost=" << rls_.lost_registrations() << " up=" << rls_.available()
+        << "/" << rls_.rli().available();
+    // Sorted by (site, lfn): the two registration streams are
+    // independent, so their log order legitimately permutes.
+    std::vector<std::string> facts;
+    for (const rls::JournalEntry& e : rls_.journal().entries()) {
+      facts.push_back(e.site + "/" + e.lfn + (e.applied ? "+" : "-"));
+    }
+    std::sort(facts.begin(), facts.end());
+    for (const std::string& f : facts) out << " " << f;
+    for (const char* lfn : {"out-a", "out-b"}) {
+      out << " " << lfn << "@";
+      for (const auto& [site, rep] : rls_.locate(lfn, sim_.now())) {
+        out << site << ";";
+      }
+    }
+    return out.str();
+  }
+
+ private:
+  sim::Simulation sim_;
+  rls::ReplicaLocationService rls_;
+  std::unique_ptr<JournalInvariant> invariant_;
 };
 
 // ---------------------------------------------------------------------
@@ -212,7 +297,7 @@ class GridRun final : public ScenarioRun {
 std::unique_ptr<GridRun> make_placement_run(bool seed_bug) {
   auto run = std::make_unique<GridRun>();
   broker::BrokerConfig cfg;
-  cfg.hold_retry_jitter = 0.0;  // retry lands exactly at hold + 5 min
+  cfg.hold.jitter = 0.0;  // retry lands exactly at hold + 5 min
   run->build(/*with_archive=*/true, cfg);
   if (seed_bug) run->broker_->test_seed_stale_hold_release();
   run->results.resize(1);
@@ -338,6 +423,17 @@ std::vector<NamedScenario> reduced_scenarios() {
         "site; the gang lease must drain exactly once on every order";
     s.factory = [] { return make_gang_run(gang_completion_time()); };
     s.config.horizon = Time::hours(2);
+    out.push_back(std::move(s));
+  }
+  {
+    NamedScenario s;
+    s.name = "rls-journal";
+    s.description =
+        "registrations land mid RLS outage; the recovery replay races "
+        "the periodic refresh's replay and every entry must apply "
+        "exactly once with nothing lost";
+    s.factory = [] { return std::make_unique<RlsOutageRun>(); };
+    s.config.horizon = Time::seconds(300);
     out.push_back(std::move(s));
   }
   return out;

@@ -17,6 +17,11 @@
 //     collide with a quarantine trip at the gang's primary site -- the
 //     three orders in which the gang lease can be drained.  Exercises
 //     the gang-lease and lease-audit invariants.
+//   * "rls-journal": replica registrations land while the RLS endpoint
+//     and RLI are down; the repair-time replay collides with the
+//     periodic refresh's own replay trigger.  Exercises the rls-journal
+//     invariant: exactly-once apply and no registration lost on any
+//     outage/recovery order.
 //
 // seeded_lease_bug_scenario() is "placement" with the historical
 // stale-hold-release bug re-seeded via

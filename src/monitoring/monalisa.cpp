@@ -35,6 +35,10 @@ MonalisaRepository::~MonalisaRepository() {
 }
 
 void MonalisaRepository::ingest(const MetricKey& key, Time t, double value) {
+  if (!up_) {
+    ++dropped_;
+    return;
+  }
   auto it = archives_.find(key);
   if (it == archives_.end()) {
     it = archives_.emplace(key, make_archive()).first;
@@ -46,6 +50,7 @@ void MonalisaRepository::ingest(const MetricKey& key, Time t, double value) {
 std::optional<double> MonalisaRepository::read(const std::string& site,
                                                const std::string& metric,
                                                Time t) const {
+  if (!up_) return std::nullopt;
   auto it = archives_.find({site, metric});
   if (it == archives_.end()) return std::nullopt;
   return it->second.read(t);
@@ -53,6 +58,7 @@ std::optional<double> MonalisaRepository::read(const std::string& site,
 
 double MonalisaRepository::grid_total(const std::string& metric,
                                       Time t) const {
+  if (!up_) return 0.0;
   double total = 0.0;
   for (const auto& [key, archive] : archives_) {
     if (key.name == metric) {

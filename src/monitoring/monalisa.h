@@ -72,14 +72,27 @@ class MonalisaRepository {
   [[nodiscard]] std::size_t archived_keys() const { return archives_.size(); }
   [[nodiscard]] std::uint64_t updates() const { return updates_; }
 
+  /// Collector outage: a down repository answers no reads and drops
+  /// incoming updates (the gap stays in the archive -- history lost
+  /// while down is not back-filled on recovery, just as a real
+  /// collector's round-robin archives would show a hole).  Consumers
+  /// already treat "no value" as a degraded default (the broker ranks
+  /// load-blind via value_or(0)).
+  void set_available(bool up) { up_ = up; }
+  [[nodiscard]] bool available() const { return up_; }
+  /// Updates dropped while the collector was down.
+  [[nodiscard]] std::uint64_t dropped_updates() const { return dropped_; }
+
  private:
   void ingest(const MetricKey& key, Time t, double value);
   [[nodiscard]] static util::RoundRobinArchive make_archive();
 
   MetricBus& bus_;
+  bool up_ = true;
   std::vector<SubscriptionId> subs_;
   std::map<MetricKey, util::RoundRobinArchive> archives_;
   std::uint64_t updates_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace grid3::monitoring

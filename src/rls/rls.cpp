@@ -1,6 +1,7 @@
 #include "rls/rls.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace grid3::rls {
 
@@ -62,6 +63,7 @@ std::vector<std::string> LocalReplicaCatalog::lfns() const {
 
 void ReplicaLocationIndex::update_from(const LocalReplicaCatalog& lrc,
                                        Time now) {
+  if (!up_) return;  // a down index drops digests; soft state re-heals
   // Full-state digest: wipe the site's old contribution, then re-add.
   for (auto it = index_.begin(); it != index_.end();) {
     it->second.erase(lrc.site());
@@ -79,6 +81,7 @@ void ReplicaLocationIndex::update_from(const LocalReplicaCatalog& lrc,
 std::vector<std::string> ReplicaLocationIndex::sites_with(
     const std::string& lfn, Time now) const {
   std::vector<std::string> out;
+  if (!up_) return out;
   auto it = index_.find(lfn);
   if (it == index_.end()) return out;
   for (const auto& [site, refreshed] : it->second) {
@@ -89,6 +92,7 @@ std::vector<std::string> ReplicaLocationIndex::sites_with(
 
 bool ReplicaLocationIndex::knows(const std::string& lfn,
                                  const std::string& site, Time now) const {
+  if (!up_) return false;
   auto it = index_.find(lfn);
   if (it == index_.end()) return false;
   auto jt = it->second.find(site);
@@ -109,17 +113,82 @@ const LocalReplicaCatalog* ReplicaLocationService::find_lrc(
   return it == lrcs_.end() ? nullptr : &it->second;
 }
 
+JournalEntry& RegistrationJournal::log(std::string site, std::string lfn,
+                                       Replica replica, Time now) {
+  JournalEntry e;
+  e.id = ++next_id_;
+  e.site = std::move(site);
+  e.lfn = std::move(lfn);
+  e.replica = std::move(replica);
+  e.logged = now;
+  entries_.push_back(std::move(e));
+  JournalEntry& ref = entries_.back();
+  if (audit_) audit_(ref, "log");
+  return ref;
+}
+
+void RegistrationJournal::mark_applied(JournalEntry& e, const char* event) {
+  assert(!e.applied && "journal entries are applied exactly once");
+  e.applied = true;
+  ++applied_count_;
+  if (event != nullptr && event[0] == 'r') ++replayed_;
+  if (audit_) audit_(e, event);
+}
+
+void ReplicaLocationService::apply(JournalEntry& e, Time now,
+                                   const char* event) {
+  LocalReplicaCatalog& lrc = lrc_for(e.site);
+  lrc.add(e.lfn, e.replica);  // idempotent: upserts by PFN
+  rli_.update_from(lrc, now);  // dropped while the RLI is down; the
+                               // next refresh_all re-advertises it
+  journal_.mark_applied(e, event);
+}
+
 void ReplicaLocationService::register_replica(const std::string& site,
                                               const std::string& lfn,
                                               Replica replica, Time now) {
+  const bool reachable = available_ && lrc_for(site).available();
+  if (journal_enabled_) {
+    // Write-ahead: log the intent first, then attempt the write.  A
+    // down endpoint or LRC leaves the entry pending for replay().
+    JournalEntry& e = journal_.log(site, lfn, std::move(replica), now);
+    if (reachable) apply(e, now, "apply");
+    return;
+  }
+  // Naive baseline: the registration script fails against the down
+  // service and the mapping is gone.
+  if (!reachable) {
+    ++lost_registrations_;
+    return;
+  }
   LocalReplicaCatalog& lrc = lrc_for(site);
   lrc.add(lfn, std::move(replica));
   rli_.update_from(lrc, now);
 }
 
+std::size_t ReplicaLocationService::replay(Time now) {
+  if (!journal_enabled_ || !available_ || journal_.pending() == 0) return 0;
+  std::size_t applied = 0;
+  for (JournalEntry& e : journal_.entries()) {
+    if (e.applied) continue;
+    if (!lrc_for(e.site).available()) continue;  // still down: keep pending
+    apply(e, now, "replay");
+    ++applied;
+  }
+  return applied;
+}
+
 std::vector<std::pair<std::string, Replica>> ReplicaLocationService::locate(
     const std::string& lfn, Time now) const {
   std::vector<std::pair<std::string, Replica>> out;
+  if (!rli_.available()) {
+    // RLI outage: fall back to a direct scan of the authoritative LRCs
+    // (the map is name-ordered, so results stay deterministic).
+    for (const auto& [site, lrc] : lrcs_) {
+      for (const Replica& r : lrc.lookup(lfn)) out.emplace_back(site, r);
+    }
+    return out;
+  }
   for (const std::string& site : rli_.sites_with(lfn, now)) {
     auto it = lrcs_.find(site);
     if (it == lrcs_.end()) continue;
@@ -133,6 +202,10 @@ std::vector<std::pair<std::string, Replica>> ReplicaLocationService::locate(
 bool ReplicaLocationService::has_replica_at(const std::string& lfn,
                                             const std::string& site,
                                             Time now) const {
+  if (!rli_.available()) {
+    const LocalReplicaCatalog* lrc = find_lrc(site);
+    return lrc != nullptr && lrc->has(lfn);
+  }
   if (!rli_.knows(lfn, site, now)) return false;
   // Mirror locate()'s LRC check: a stale index entry whose catalog
   // dropped the mapping (or whose LRC is down) yields no replicas.
@@ -141,6 +214,9 @@ bool ReplicaLocationService::has_replica_at(const std::string& lfn,
 }
 
 void ReplicaLocationService::refresh_all(Time now) {
+  // The ops loop doubles as the recovery replay trigger: pending
+  // journal entries drain as soon as their targets are reachable again.
+  replay(now);
   for (auto& [site, lrc] : lrcs_) {
     if (lrc.available()) rli_.update_from(lrc, now);
   }

@@ -5,9 +5,18 @@
 // "which LRCs know this LFN".  LRCs push soft-state digests to their
 // RLIs on a period, so the index can lag the catalogs -- consumers must
 // tolerate a bounded staleness window, and the tests pin that behaviour.
+//
+// Outage degradation: the service endpoint and the RLI each carry an
+// availability flag.  Registrations attempted while the endpoint (or
+// the target LRC) is down land in a per-VO write-ahead journal -- the
+// intent is logged before the catalog write is attempted -- and are
+// replayed exactly once on recovery; LRC::add upserts by PFN, so
+// re-registration is idempotent.  Lookups during an RLI outage fall
+// back to a direct scan of the authoritative LRCs.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -79,15 +88,71 @@ class ReplicaLocationIndex {
   [[nodiscard]] Time ttl() const { return ttl_; }
   void set_ttl(Time ttl) { ttl_ = ttl; }
 
+  /// A down index answers nothing and drops incoming digests (soft
+  /// state heals itself: the next refresh after recovery re-pushes the
+  /// full catalog).
+  void set_available(bool up) { up_ = up; }
+  [[nodiscard]] bool available() const { return up_; }
+
   [[nodiscard]] std::size_t indexed_lfns() const { return index_.size(); }
 
  private:
   std::string name_;
+  bool up_ = true;
   Time ttl_ = Time::minutes(30);
   // lfn -> site -> last refresh time.  The outer index is unordered
   // (hot lookups hash once); the inner site map stays ordered so
   // sites_with keeps returning name-sorted sites.
   std::unordered_map<std::string, std::map<std::string, Time>> index_;
+};
+
+/// One logged registration intent.  Write-ahead: the entry exists
+/// before the catalog write is attempted, so a crash/outage between the
+/// two loses nothing.
+struct JournalEntry {
+  std::uint64_t id = 0;  ///< monotone log order
+  std::string site;
+  std::string lfn;
+  Replica replica;
+  Time logged;
+  bool applied = false;  ///< reached the authoritative LRC
+};
+
+/// Per-VO write-ahead journal for replica registrations.  Append-only;
+/// an entry is applied exactly once (immediately when the service is
+/// up, or by replay on recovery).  The audit tap exposes every
+/// transition to the model checker's journal invariant.
+class RegistrationJournal {
+ public:
+  /// Fires per transition with event "log", "apply" (immediate path)
+  /// or "replay" (recovery path).
+  using AuditFn = std::function<void(const JournalEntry&, const char* event)>;
+  void set_audit(AuditFn fn) { audit_ = std::move(fn); }
+
+  JournalEntry& log(std::string site, std::string lfn, Replica replica,
+                    Time now);
+  /// Flip an entry to applied (must not already be; the invariant's
+  /// exactly-once guarantee rests here).
+  void mark_applied(JournalEntry& e, const char* event);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// Entries logged but not yet applied (a down target is holding them).
+  [[nodiscard]] std::size_t pending() const {
+    return entries_.size() - applied_count_;
+  }
+  /// Entries applied via the recovery path.
+  [[nodiscard]] std::size_t replayed() const { return replayed_; }
+  [[nodiscard]] const std::vector<JournalEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<JournalEntry>& entries() { return entries_; }
+
+ private:
+  std::vector<JournalEntry> entries_;
+  std::uint64_t next_id_ = 0;
+  std::size_t applied_count_ = 0;
+  std::size_t replayed_ = 0;
+  AuditFn audit_;
 };
 
 /// Convenience façade binding LRCs and an RLI into one service endpoint,
@@ -104,11 +169,17 @@ class ReplicaLocationService {
       const std::string& site) const;
 
   /// Register a replica and immediately refresh that LRC's digest (Grid3
-  /// registration scripts did both in one step).
+  /// registration scripts did both in one step).  The intent is journaled
+  /// first; when the endpoint or the target LRC is down the entry stays
+  /// pending and replay() applies it on recovery.  With the journal
+  /// disabled (the naive baseline) such registrations are simply lost
+  /// and counted.
   void register_replica(const std::string& site, const std::string& lfn,
                         Replica replica, Time now);
 
   /// Query: all replicas of an LFN across sites the RLI knows about.
+  /// During an RLI outage, degrades to a direct scan of the
+  /// authoritative LRCs (slower in real life; never wrong).
   [[nodiscard]] std::vector<std::pair<std::string, Replica>> locate(
       const std::string& lfn, Time now) const;
 
@@ -118,17 +189,46 @@ class ReplicaLocationService {
   [[nodiscard]] bool has_replica_at(const std::string& lfn,
                                     const std::string& site, Time now) const;
 
-  /// Periodic soft-state refresh of every LRC digest.
+  /// Periodic soft-state refresh of every LRC digest.  Also drains the
+  /// journal first, so the standard ops loop doubles as the recovery
+  /// replay trigger.
   void refresh_all(Time now);
+
+  /// Apply every pending journal entry whose target LRC is reachable.
+  /// Exactly-once: applied entries are skipped; idempotent because
+  /// LRC::add upserts by PFN.  Returns entries applied.
+  std::size_t replay(Time now);
+
+  /// Registration-endpoint availability (the write path; queries keep
+  /// answering from the RLI/LRCs).  Down -> registrations journal.
+  void set_available(bool up) { available_ = up; }
+  [[nodiscard]] bool available() const { return available_; }
+
+  /// False = the naive pre-journal baseline: registrations against a
+  /// down endpoint/LRC are dropped and counted in lost_registrations().
+  void set_journal_enabled(bool on) { journal_enabled_ = on; }
+  [[nodiscard]] bool journal_enabled() const { return journal_enabled_; }
+  [[nodiscard]] std::size_t lost_registrations() const {
+    return lost_registrations_;
+  }
+
+  [[nodiscard]] RegistrationJournal& journal() { return journal_; }
+  [[nodiscard]] const RegistrationJournal& journal() const { return journal_; }
 
   [[nodiscard]] ReplicaLocationIndex& rli() { return rli_; }
   [[nodiscard]] const ReplicaLocationIndex& rli() const { return rli_; }
   [[nodiscard]] std::size_t lrc_count() const { return lrcs_.size(); }
 
  private:
+  void apply(JournalEntry& e, Time now, const char* event);
+
   std::string vo_;
+  bool available_ = true;
+  bool journal_enabled_ = true;
+  std::size_t lost_registrations_ = 0;
   std::map<std::string, LocalReplicaCatalog> lrcs_;
   ReplicaLocationIndex rli_;
+  RegistrationJournal journal_;
 };
 
 }  // namespace grid3::rls

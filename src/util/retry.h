@@ -1,0 +1,87 @@
+// One retry/backoff policy for every transient-failure path.
+//
+// Grid3 operations retried everything -- GRAM submits, gridftp
+// transfers, broker rebinds, hold-retries -- but each path grew its own
+// ad-hoc knobs (max_retries here, backoff_factor there, a jitter
+// fraction somewhere else).  RetryPolicy folds them into one value
+// type: a base delay, an exponential growth factor, an optional
+// deterministic jitter fraction, a retry budget, and a wall-clock
+// deadline after which the caller should give up entirely.
+//
+// Determinism contract: at the historical defaults every method
+// reproduces the legacy call sites' arithmetic bit-for-bit.  In
+// particular `delay(attempt)` returns the stored `base` Time
+// *unconverted* when `factor == 1.0` -- a round trip through
+// to_seconds()/Time::seconds() can truncate the int64 microsecond
+// tick, and the fixed-backoff paths (gridftp, condor-g) always passed
+// the stored Time straight to the scheduler.  Jitter uses the same
+// splitmix64 finalizer the broker always used, keyed by the caller's
+// sequence counter -- no RNG stream is consumed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace grid3::util {
+
+/// Deterministic hash-to-[0,1) used for retry jitter: the splitmix64
+/// finalizer over a caller-supplied key (typically a sequence counter
+/// XOR a seed).  Consumes no RNG stream, so adding or removing a
+/// jittered retry never perturbs unrelated draws.
+[[nodiscard]] inline double jitter01(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Retry schedule: exponential backoff from `base` by `factor`, an
+/// optional deterministic jitter fraction, a retry-count budget, and a
+/// total elapsed-time deadline (Time::max() = no deadline).
+struct RetryPolicy {
+  Time base = Time::zero();   ///< first retry delay
+  double factor = 1.0;        ///< multiplier per further attempt
+  double jitter = 0.0;        ///< max fractional jitter (0 = none)
+  int max_retries = 0;        ///< retry budget (not counting try #1)
+  Time deadline = Time::max();  ///< give up once elapsed exceeds this
+
+  /// Backoff before retry `attempt` (1-based), in seconds.  Reproduces
+  /// the legacy loop exactly: base * factor^(attempt-1) computed by
+  /// repeated multiplication.
+  [[nodiscard]] double delay_seconds(int attempt) const {
+    double d = base.to_seconds();
+    for (int i = 1; i < attempt; ++i) d *= factor;
+    return d;
+  }
+
+  /// Jittered backoff: delay_seconds(attempt) stretched by up to
+  /// `jitter` fraction, keyed deterministically by `jitter_key`.
+  [[nodiscard]] double delay_seconds(int attempt,
+                                     std::uint64_t jitter_key) const {
+    double d = delay_seconds(attempt);
+    if (jitter > 0.0) d *= 1.0 + jitter * jitter01(jitter_key);
+    return d;
+  }
+
+  /// Backoff before retry `attempt` as a Time.  When the schedule is
+  /// flat (factor == 1.0) this returns the stored base unconverted --
+  /// no double round trip, no microsecond truncation.
+  [[nodiscard]] Time delay(int attempt) const {
+    if (factor == 1.0) return base;
+    return Time::seconds(delay_seconds(attempt));
+  }
+
+  /// True while the retry budget allows another attempt.
+  [[nodiscard]] bool allows(int retries_done) const {
+    return retries_done < max_retries;
+  }
+
+  /// True once the total elapsed time has exceeded the deadline.
+  [[nodiscard]] bool budget_exhausted(Time elapsed) const {
+    return elapsed > deadline;
+  }
+};
+
+}  // namespace grid3::util

@@ -183,7 +183,8 @@ TEST(CondorG, NoRetryOnPermanentFailure) {
   gram::GatekeeperConfig gkc{.site = "S", .submission_flake_rate = 0.0};
   gram::Gatekeeper gk{sim, gkc, lrms, gridmap, ca, ftp_client, ftp,
                       scratch};
-  gram::CondorG condor_g{sim, {.max_retries = 5}};
+  gram::CondorG condor_g{
+      sim, {.retry = {.base = Time::minutes(5), .max_retries = 5}}};
 
   gram::GramJob job;
   job.proxy.identity = ca.issue("/CN=x", sim.now(), Time::days(1));

@@ -248,7 +248,7 @@ TEST_F(BrokerFixture, RebindExhaustionReportsLastFailure) {
   ASSERT_TRUE(result.has_value());
   EXPECT_FALSE(result->ok());
   EXPECT_TRUE(result->matched);
-  EXPECT_EQ(result->rebinds, broker().config().max_rebinds);
+  EXPECT_EQ(result->rebinds, broker().config().rebind.max_retries);
   EXPECT_EQ(result->gram.status, gram::GramStatus::kGatekeeperDown);
 }
 
@@ -615,6 +615,127 @@ TEST_F(BrokerFixture, DagManLateBindsThroughBroker) {
   std::size_t placed = 0;
   for (const auto& [site, n] : placements) placed += n;
   EXPECT_GE(placed, 2u);
+}
+
+// --- stale-view brokering through an index outage ----------------------
+
+TEST_F(BrokerFixture, StaleViewServesMatchesThroughAnIndexOutage) {
+  broker().view(sim.now());  // prime the last-known-good view
+  EXPECT_FALSE(broker().view_stale());
+  grid.igoc().top_giis().set_available(false);
+  // Outlive the view TTL so the next view() actually consults the
+  // (down) index, but stay inside the staleness bound.
+  sim.run_until(sim.now() + broker().config().view_ttl + Time::minutes(1));
+
+  // Within the staleness bound the frozen view keeps serving...
+  const auto& view = broker().view(sim.now());
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_TRUE(broker().view_stale());
+
+  // ...and matches keep landing, flagged and published.
+  std::optional<BrokeredResult> result;
+  broker().submit(short_job(), gram_job(),
+                  [&](const BrokeredResult& r) { result = r; });
+  sim.run_until(sim.now() + Time::hours(3));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_GE(broker().stale_matches(), 1u);
+  EXPECT_FALSE(
+      grid.igoc().bus().series("usatlas", metric::kStaleMatches).empty());
+}
+
+TEST_F(BrokerFixture, StaleViewRecoversWhenTheIndexReturns) {
+  broker().view(sim.now());
+  grid.igoc().top_giis().set_available(false);
+  sim.run_until(sim.now() + broker().config().view_ttl + Time::minutes(1));
+  broker().view(sim.now());
+  EXPECT_TRUE(broker().view_stale());
+  grid.igoc().top_giis().set_available(true);
+  // No TTL wait: the next view call re-checks and drops the flag.
+  const auto& view = broker().view(sim.now());
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_FALSE(broker().view_stale());
+  EXPECT_EQ(broker().stale_matches(), 0u);
+}
+
+TEST_F(BrokerFixture, PastTheStalenessBoundJobsHoldInsteadOfFailing) {
+  broker().view(sim.now());
+  grid.igoc().top_giis().set_available(false);
+  // Outlive the bound: the frozen view is no longer trusted.
+  sim.run_until(sim.now() + broker().config().stale_view_max +
+                Time::minutes(1));
+  EXPECT_TRUE(broker().view(sim.now()).empty());
+  EXPECT_TRUE(broker().view_outage());
+  EXPECT_FALSE(broker().view_stale());
+
+  // Defer, not fail: the job rides the hold queue until recovery.
+  std::optional<BrokeredResult> result;
+  broker().submit(short_job(), gram_job(),
+                  [&](const BrokeredResult& r) { result = r; });
+  sim.run_until(sim.now() + Time::minutes(20));
+  EXPECT_FALSE(result.has_value());
+  EXPECT_GE(broker().holds(), 1u);
+  grid.igoc().top_giis().set_available(true);
+  sim.run_until(sim.now() + Time::hours(3));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_GE(result->holds, 1);
+  EXPECT_FALSE(broker().view_outage());
+}
+
+TEST_F(BrokerFixture, ZeroStalenessBoundKeepsLegacyRejectSemantics) {
+  // stale_view_max == 0 disables the freeze: an index outage empties
+  // the view and submissions fail permanently, the pre-journal status
+  // quo the ablation bench measures against.
+  sim::Simulation sim2;
+  core::Grid3 g{sim2, 77};
+  g.add_vo("usatlas");
+  BrokerConfig cfg;
+  cfg.stale_view_max = Time::zero();
+  ResourceBroker& b = g.attach_broker("usatlas", PolicyKind::kQueueDepth, cfg);
+  pacman::add_application_package(g.igoc().pacman_cache(), "app",
+                                  Time::minutes(5));
+  core::SiteConfig a;
+  a.name = "ALPHA";
+  a.owner_vo = "usatlas";
+  a.cpus = 4;
+  a.policy.max_walltime = Time::hours(48);
+  a.policy.dedicated = true;
+  g.add_site(a, /*reliability=*/1000.0);
+  g.site("ALPHA")->install_application(g.igoc().pacman_cache(), "app");
+  const vo::Certificate cert =
+      g.add_user("usatlas", "tester", vo::Role::kAppAdmin);
+  const vo::VomsProxy p = *g.make_proxy(cert, "usatlas", Time::hours(200));
+  const std::vector<const vo::VomsServer*> servers{g.voms("usatlas")};
+  g.site("ALPHA")->refresh_gridmap(servers);
+  g.start_operations();
+  sim2.run_until(Time::minutes(1));
+
+  b.view(sim2.now());
+  g.igoc().top_giis().set_available(false);
+  sim2.run_until(sim2.now() + cfg.view_ttl + Time::minutes(1));
+  EXPECT_TRUE(b.view(sim2.now()).empty());
+  EXPECT_FALSE(b.view_outage());  // the degraded machinery stays off
+
+  JobSpec spec;
+  spec.vo = "usatlas";
+  spec.app = "tf";
+  spec.required_app = "app";
+  spec.runtime = Time::hours(1);
+  gram::GramJob job;
+  job.proxy = p;
+  job.request.vo = p.vo;
+  job.request.user_dn = p.identity.subject_dn;
+  job.request.requested_walltime = Time::hours(2);
+  job.request.actual_runtime = Time::hours(1);
+  std::optional<BrokeredResult> result;
+  b.submit(spec, std::move(job),
+           [&](const BrokeredResult& r) { result = r; });
+  sim2.run_until(sim2.now() + Time::minutes(5));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+  EXPECT_FALSE(result->matched);
+  EXPECT_EQ(b.stale_matches(), 0u);
 }
 
 }  // namespace

@@ -272,6 +272,115 @@ TEST(FailureInjection, RolloverKillsRunningJobs) {
   EXPECT_GT(killed, 0);
 }
 
+TEST(CollectiveFailures, OutagesOpenTicketsAndRepairsCloseThem) {
+  sim::Simulation sim;
+  Grid3 grid{sim, 11};
+  grid.add_vo("usatlas");
+  CollectiveFailureRates rates;
+  rates.giis_outage_mtbf = Time::hours(12);
+  rates.giis_repair_mean = Time::hours(1);
+  rates.rls_outage_mtbf = Time::hours(12);
+  rates.rls_repair_mean = Time::hours(1);
+  grid.arm_vo_collective_failures("usatlas", rates);
+  sim.run_until(Time::days(14));
+  EXPECT_GT(grid.failures().incidents(Incident::kGiisOutage), 0u);
+  EXPECT_GT(grid.failures().incidents(Incident::kRlsOutage), 0u);
+  EXPECT_GT(grid.igoc().tickets().total(), 0u);
+  // Repairs close the tickets (at most the currently-open outages stay).
+  EXPECT_LT(grid.igoc().tickets().open_count(), 3u);
+}
+
+TEST(CollectiveFailures, ZeroRatesDrawNothing) {
+  // Arming with all-zero MTBFs is inert: no incidents, no RNG draws, so
+  // existing seeds stay byte-identical.
+  sim::Simulation sim;
+  Grid3 grid{sim, 12};
+  grid.add_vo("usatlas");
+  grid.arm_vo_collective_failures("usatlas", {});
+  grid.arm_igoc_collective_failures({});
+  sim.run_until(Time::days(30));
+  EXPECT_EQ(grid.failures().total_incidents(), 0u);
+  EXPECT_EQ(grid.igoc().tickets().total(), 0u);
+}
+
+TEST(CollectiveFailures, ScheduledRlsDowntimeJournalsAndReplays) {
+  sim::Simulation sim;
+  Grid3 grid{sim, 13};
+  grid.add_vo("usatlas");
+  grid.arm_vo_collective_failures("usatlas", {});  // attach, no Poisson
+  grid.failures().schedule_downtime(
+      {"usatlas-collective", Time::hours(1), Time::hours(2)});
+  rls::ReplicaLocationService* rls = grid.rls("usatlas");
+
+  sim.run_until(Time::hours(1) + Time::minutes(30));  // inside the window
+  EXPECT_FALSE(rls->available());
+  EXPECT_FALSE(rls->rli().available());
+  EXPECT_EQ(grid.failures().incidents(Incident::kScheduledDowntime), 1u);
+  EXPECT_EQ(grid.igoc().tickets().open_count(), 1u);
+  rls->register_replica("BNL", "aod",
+                        {"gsiftp://BNL/aod", Bytes::gb(1), sim.now()},
+                        sim.now());
+  EXPECT_EQ(rls->journal().pending(), 1u);
+
+  // Just past the window (inside the RLI's 30-min soft-state TTL; no
+  // ops refresh loop runs in this test to keep the entry alive).
+  sim.run_until(Time::hours(3) + Time::minutes(5));
+  EXPECT_TRUE(rls->available());
+  // The restore replayed the journal; the maintenance ticket is closed.
+  EXPECT_EQ(rls->journal().pending(), 0u);
+  EXPECT_EQ(rls->journal().replayed(), 1u);
+  EXPECT_EQ(rls->locate("aod", sim.now()).size(), 1u);
+  EXPECT_EQ(grid.igoc().tickets().open_count(), 0u);
+}
+
+TEST(CollectiveFailures, ScheduledSiteDowntimeFiresAndRestores) {
+  sim::Simulation sim;
+  Grid3 grid{sim, 14};
+  grid.add_vo("usatlas");
+  SiteConfig cfg;
+  cfg.name = "MAINT";
+  cfg.owner_vo = "usatlas";
+  cfg.cpus = 8;
+  Site& site = grid.add_site(cfg, 1000.0);
+  grid.failures().schedule_downtime(
+      {"MAINT", Time::hours(2), Time::hours(3)});
+  // An unknown target never fires an incident.
+  grid.failures().schedule_downtime(
+      {"GHOST", Time::hours(2), Time::hours(3)});
+
+  sim.run_until(Time::hours(3));
+  EXPECT_FALSE(site.gatekeeper().available());
+  EXPECT_FALSE(site.gris().available());
+  EXPECT_EQ(grid.failures().incidents(Incident::kScheduledDowntime), 1u);
+  sim.run_until(Time::hours(6));
+  EXPECT_TRUE(site.gatekeeper().available());
+  EXPECT_TRUE(site.gris().available());
+  EXPECT_EQ(grid.igoc().tickets().open_count(), 0u);
+}
+
+TEST(CollectiveFailures, TicketQueueDowntimeDropsOpens) {
+  sim::Simulation sim;
+  Grid3 grid{sim, 15};
+  grid.add_vo("usatlas");
+  grid.arm_igoc_collective_failures({});
+  grid.failures().schedule_downtime(
+      {"igoc-collective", Time::hours(1), Time::hours(1)});
+  sim.run_until(Time::hours(1) + Time::minutes(30));
+  // The queue is down -- even the maintenance ticket for this very
+  // window was dropped (nobody tickets the ticket system).
+  EXPECT_FALSE(grid.igoc().tickets().available());
+  EXPECT_GE(grid.igoc().tickets().dropped(), 1u);
+  EXPECT_EQ(grid.igoc().tickets().open("BNL", "disk", sim.now()), 0u);
+  EXPECT_EQ(grid.igoc().tickets().total(), 0u);
+  // MonALISA drops updates while down and answers nothing.
+  EXPECT_FALSE(grid.igoc().ml_repository().available());
+  EXPECT_EQ(grid.igoc().ml_repository().grid_total("cpu", sim.now()), 0.0);
+  sim.run_until(Time::hours(3));
+  EXPECT_TRUE(grid.igoc().tickets().available());
+  EXPECT_TRUE(grid.igoc().ml_repository().available());
+  EXPECT_GT(grid.igoc().tickets().open("BNL", "disk", sim.now()), 0u);
+}
+
 TEST(Milestones, ScorecardReflectsComputedValues) {
   Milestones m;
   m.cpus_now = 2700;

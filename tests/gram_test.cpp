@@ -226,8 +226,8 @@ TEST_F(GramTest, CondorGRetriesTransientOverload) {
                          .submission_flake_rate = 0.0, .app_error_rate = 0.0};
   Gatekeeper small_gk{sim, tight, lrms, gridmap, ca,
                       ftp_client, site_ftp, scratch};
-  CondorG condor_g{sim, {.max_retries = 5,
-                         .retry_backoff = Time::minutes(2)}};
+  CondorG condor_g{
+      sim, {.retry = {.base = Time::minutes(2), .max_retries = 5}}};
   // A burst of 40 short jobs overloads the gatekeeper; Condor-G retries
   // shed load across backoff windows and eventually land everything.
   int completed = 0;

@@ -68,8 +68,7 @@ TEST_F(GridFtpTest, RetriesThroughTransientOutage) {
   req.src = &ftp_a;
   req.dst = &ftp_b;
   req.size = Bytes::gb(1);
-  req.max_retries = 3;
-  req.retry_backoff = Time::minutes(1);
+  req.retry = {.base = Time::minutes(1), .max_retries = 3};
   client.transfer(std::move(req),
                   [&](const TransferRecord& r) { rec = r; });
   sim.schedule_at(Time::seconds(10), [&] { net.set_node_up(node_b, false); });
@@ -87,8 +86,7 @@ TEST_F(GridFtpTest, PermanentOutageExhaustsRetries) {
   req.src = &ftp_a;
   req.dst = &ftp_b;
   req.size = Bytes::gb(1);
-  req.max_retries = 2;
-  req.retry_backoff = Time::minutes(1);
+  req.retry = {.base = Time::minutes(1), .max_retries = 2};
   client.transfer(std::move(req),
                   [&](const TransferRecord& r) { rec = r; });
   sim.schedule_at(Time::seconds(5), [&] { net.set_node_up(node_b, false); });

@@ -124,6 +124,41 @@ TEST_F(GiisTest, DownIndexAnswersNothing) {
                   .empty());
 }
 
+TEST_F(GiisTest, GrisRecoveryRestoresTheDroppedSite) {
+  // The degraded-mode contract end to end: stale (fresh=false) through
+  // one grace TTL, gone after, and back -- fresh -- once the GRIS
+  // answers again.  No re-registration step is needed; the cache
+  // re-pulls on the next lookup.
+  ASSERT_TRUE(top.lookup("FNAL", Time::zero()).has_value());
+  fnal.set_available(false);
+  const auto stale = top.lookup("FNAL", Time::minutes(15));
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_FALSE(stale->fresh);
+  EXPECT_FALSE(top.lookup("FNAL", Time::minutes(25)).has_value());
+  fnal.set_available(true);
+  fnal.publish(glue::kTotalCpus, std::int64_t{512}, Time::minutes(26));
+  const auto back = top.lookup("FNAL", Time::minutes(30));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->fresh);
+  EXPECT_EQ(back->get_int(glue::kTotalCpus), 512);
+}
+
+TEST_F(GiisTest, DownChildGiisHidesItsSitesImmediately) {
+  // The snapshot cache lives where the GRIS is registered, so a VO
+  // GIIS outage removes its sites from the top index at once -- no
+  // per-site grace applies.  Riding this out is the broker's job (its
+  // bounded stale-view freeze), not MDS's.  Recovery is also
+  // immediate: the child answers from its own cache again.
+  ASSERT_TRUE(top.lookup("BNL", Time::zero()).has_value());
+  vo_giis.set_available(false);
+  EXPECT_FALSE(top.lookup("BNL", Time::minutes(1)).has_value());
+  vo_giis.set_available(true);
+  const auto back = top.lookup("BNL", Time::minutes(2));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->fresh);
+  EXPECT_EQ(back->get_int(glue::kTotalCpus), 360);
+}
+
 TEST_F(GiisTest, DeregisterRemovesSite) {
   top.deregister_gris("FNAL");
   EXPECT_FALSE(top.lookup("FNAL", Time::zero()).has_value());

@@ -443,7 +443,7 @@ class ShortHoldPlacementFixture : public PlacementFixture {
  protected:
   void SetUp() override {
     broker::BrokerConfig cfg;
-    cfg.max_hold = Time::hours(2);
+    cfg.hold.deadline = Time::hours(2);
     setup(cfg);
   }
 };
@@ -518,7 +518,7 @@ class ShortHoldChainFixture : public ChainPlacementFixture {
  protected:
   void SetUp() override {
     broker::BrokerConfig cfg;
-    cfg.max_hold = Time::hours(2);
+    cfg.hold.deadline = Time::hours(2);
     setup_chain(cfg);
   }
 };

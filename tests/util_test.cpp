@@ -7,6 +7,7 @@
 
 #include "util/calendar.h"
 #include "util/distributions.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/rrd.h"
 #include "util/stats.h"
@@ -305,6 +306,74 @@ TEST(Table, BarChartScales) {
       bar_chart({{"a", 10.0}, {"b", 5.0}}, 10, "units");
   EXPECT_NE(chart.find("##########"), std::string::npos);
   EXPECT_NE(chart.find("#####"), std::string::npos);
+}
+
+TEST(RetryPolicy, FlatScheduleReturnsTheBaseBitIdentically) {
+  // factor == 1.0 must hand back the stored Time, never a
+  // seconds-roundtrip that could truncate odd tick counts.
+  RetryPolicy p;
+  p.base = Time::micros(1'000'001);  // not a whole number of seconds
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    EXPECT_EQ(p.delay(attempt), p.base);
+  }
+}
+
+TEST(RetryPolicy, GeometricBackoffMatchesTheLegacyLoop) {
+  RetryPolicy p;
+  p.base = Time::minutes(2);
+  p.factor = 2.0;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    // The pre-policy call sites computed backoff by repeated
+    // multiplication; the policy must reproduce that sequence exactly.
+    double legacy = p.base.to_seconds();
+    for (int i = 1; i < attempt; ++i) legacy *= p.factor;
+    EXPECT_DOUBLE_EQ(p.delay_seconds(attempt), legacy);
+  }
+  EXPECT_DOUBLE_EQ(p.delay_seconds(1), 120.0);
+  EXPECT_DOUBLE_EQ(p.delay_seconds(3), 480.0);
+}
+
+TEST(RetryPolicy, JitterIsDeterministicAndBounded) {
+  RetryPolicy p;
+  p.base = Time::minutes(5);
+  p.jitter = 0.25;
+  const double flat = p.base.to_seconds();
+  std::set<double> seen;
+  for (std::uint64_t key = 1; key <= 32; ++key) {
+    const double d = p.delay_seconds(1, key);
+    EXPECT_GE(d, flat);
+    EXPECT_LT(d, flat * 1.25);
+    EXPECT_DOUBLE_EQ(d, p.delay_seconds(1, key));  // pure in the key
+    seen.insert(d);
+  }
+  EXPECT_GT(seen.size(), 16u);  // the hash actually spreads
+  // Zero jitter ignores the key entirely.
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(p.delay_seconds(1, 12345), flat);
+}
+
+TEST(RetryPolicy, RetryCountAndDeadlineBudgets) {
+  RetryPolicy p;
+  p.max_retries = 2;
+  EXPECT_TRUE(p.allows(0));
+  EXPECT_TRUE(p.allows(1));
+  EXPECT_FALSE(p.allows(2));
+  EXPECT_FALSE(p.budget_exhausted(Time::hours(1)));  // default: no deadline
+  p.deadline = Time::hours(12);
+  EXPECT_FALSE(p.budget_exhausted(Time::hours(12)));  // at the line is fine
+  EXPECT_TRUE(p.budget_exhausted(Time::hours(12) + Time::micros(1)));
+}
+
+TEST(Jitter01, SplitmixHashIsUniformishAndPure) {
+  std::set<double> seen;
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const double u = jitter01(x);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_DOUBLE_EQ(u, jitter01(x));
+    seen.insert(u);
+  }
+  EXPECT_EQ(seen.size(), 64u);
 }
 
 }  // namespace
