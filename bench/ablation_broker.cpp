@@ -14,6 +14,7 @@
 #include "broker/rank_policy.h"
 #include "gram/gatekeeper.h"
 #include "monitoring/acdc.h"
+#include "workload/catalog.h"
 
 namespace {
 
@@ -32,15 +33,16 @@ struct Outcome {
   std::uint64_t holds = 0;
 };
 
-Outcome run_mode(broker::PolicyKind kind, int months) {
+Outcome run_mode(broker::PolicyKind kind) {
+  // The base scenario is the catalog's sc2003-demo entry (two historical
+  // months covering the conference burst; quick mode keeps both months
+  // and thins the workload).  Only the placement mode under test varies.
+  const workload::ScenarioSpec spec =
+      workload::ScenarioCatalog::get("sc2003-demo", bench::seed());
   sim::Simulation sim;
-  apps::ScenarioOptions opts;
-  opts.months = months;
-  // Quick mode keeps both months (the SC2003 burst the throttle must
-  // absorb is in the second) and thins the workload instead.
-  opts.job_scale = bench::job_scale() * bench::quick_or(1.0, 0.4);
+  apps::ScenarioOptions opts = spec.options(bench::quick());
+  opts.job_scale *= bench::job_scale();
   opts.cpu_scale = bench::cpu_scale();
-  opts.seed = bench::seed();
   opts.broker_policy = kind;
   std::cout << "[mode " << broker::to_string(kind) << "] running ... "
             << std::flush;
@@ -105,9 +107,6 @@ int main() {
       "Ablation D: resource broker vs favorite-sites placement",
       "sections 6.4 + 8: gatekeeper overload, grid-level scheduling");
 
-  // Two months covers the SC2003 demo burst -- the gatekeeper stress the
-  // broker's throttle is meant to absorb.
-  const int months = 2;
   const std::vector<grid3::broker::PolicyKind> modes = {
       grid3::broker::PolicyKind::kNone,
       grid3::broker::PolicyKind::kFavoriteSites,
@@ -121,7 +120,7 @@ int main() {
                     "matches", "rebinds", "holds"}};
   std::map<grid3::broker::PolicyKind, Outcome> results;
   for (const auto kind : modes) {
-    const Outcome out = run_mode(kind, months);
+    const Outcome out = run_mode(kind);
     results[kind] = out;
     const std::string label =
         kind == grid3::broker::PolicyKind::kNone

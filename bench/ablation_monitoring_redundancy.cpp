@@ -10,25 +10,31 @@
 
 #include "bench_common.h"
 #include "monitoring/ganglia.h"
+#include "workload/catalog.h"
 
 int main() {
   using namespace grid3;
   bench::header("Ablation B: monitoring redundancy crosscheck",
                 "section 5.2: redundant collection paths");
 
+  // Ground truth comes from the catalog's calib-month scenario (small
+  // LIGO + SDSS campaign batches), run with health breakers off so the
+  // killed monitors are not quarantined away -- the crosscheck, not the
+  // breaker, must be what notices the loss.
+  workload::ScenarioSpec spec =
+      workload::ScenarioCatalog::get("calib-month", bench::seed());
+  spec.base.job_scale *= bench::job_scale();
+  spec.base.cpu_scale = bench::cpu_scale();
+  workload::StackConfig stack;
+  stack.health_breakers = false;
+
   util::AsciiTable table{{"site monitors killed", "ACDC avg running",
                           "MonALISA avg running", "crosscheck divergence"}};
   for (const double kill_fraction : {0.0, 0.25, 0.5, 1.0}) {
-    sim::Simulation sim;
-    apps::ScenarioOptions opts;
-    opts.months = 1;
-    opts.job_scale = 0.3 * bench::job_scale();
-    opts.cpu_scale = bench::cpu_scale();
-    apps::Scenario scenario{sim, opts};
-    scenario.start();
+    workload::CatalogRun run{spec, bench::quick(), stack};
     // Let the grid warm up, then break gmond at a fraction of sites.
-    scenario.run_until(Time::days(3));
-    auto& sites = scenario.grid().sites();
+    run.run_until(Time::days(3));
+    auto& sites = run.scenario().grid().sites();
     const auto kill_count =
         static_cast<std::size_t>(kill_fraction * sites.size());
     // Killing gmond is modelled by stopping the sites' monitor loops'
@@ -37,14 +43,14 @@ int main() {
     for (std::size_t i = 0; i < kill_count; ++i) {
       sites[i]->stop_services();
     }
-    scenario.run_until(util::month_start(1));
+    run.run();
 
-    const auto viewer = scenario.viewer();
+    const auto viewer = run.scenario().viewer();
     const Time from = Time::days(4);
-    const Time to = sim.now();
+    const Time to = run.sim().now();
     const double acdc = viewer.concurrency(from, to).time_average(from, to);
     double monalisa = 0.0;
-    const auto& bus = scenario.grid().igoc().bus();
+    const auto& bus = run.scenario().grid().igoc().bus();
     for (const auto& key :
          bus.keys_with_prefix("monalisa.vo_jobs_running.")) {
       monalisa +=

@@ -3,12 +3,22 @@
 
 Runs the gating ablation benches in quick mode (GRID3_BENCH_QUICK=1),
 collects each binary's ``acceptance:`` verdict line and exit code,
-re-checks the ablation_multise numbers from its ``result-json:`` line
-against the criteria recorded in docs/BENCH.md, and writes a JSON
-artifact summarising the run.  Exits non-zero when any criterion fails,
-so a regression in a BENCH.md acceptance row fails the workflow.
+re-checks recorded numbers from each bench's ``result-json:`` line
+against the criteria in its registered checker, and writes a JSON
+artifact summarising the run.  Every gated bench lives in REGISTRY:
+name -> (numeric checker, committed baseline artifact) -- adding a gate
+is one REGISTRY entry plus its checker.  A one-line PASS/FAIL table is
+printed at the end.  Exits non-zero when any criterion fails, so a
+regression in a docs/BENCH.md acceptance row fails the workflow.
 
-Usage: check_bench.py <build-dir> [--out artifact.json]
+Usage:
+  check_bench.py <build-dir> [--out artifact.json]    # ablation gates
+  check_bench.py <build-dir> --check-catalog [--out artifact.json]
+
+--check-catalog runs the scenario-catalog determinism gate instead of
+the ablation gates: ablation_catalog sweeps every catalog scenario
+under both policy stacks, and each (scenario, stack) digest must match
+the committed bench/CATALOG_MANIFEST.json byte for byte.
 """
 from __future__ import annotations
 
@@ -19,17 +29,13 @@ import pathlib
 import subprocess
 import sys
 import time
+from typing import Callable, NamedTuple
 
-# The ablations whose acceptance criteria gate CI.  Each prints an
-# `acceptance:` verdict and exits 0 only when its criterion holds.
-GATED = [
-    "ablation_broker",
-    "ablation_placement",
-    "ablation_blackhole",
-    "ablation_multise",
-    "ablation_outage",
-    "grid30",
-]
+CATALOG_MANIFEST = "bench/CATALOG_MANIFEST.json"
+# The catalog gate requires at least this many distinct scenarios (the
+# catalog currently holds 10; the floor guards against an accidentally
+# emptied sweep passing vacuously).
+CATALOG_MIN_SCENARIOS = 8
 
 # Kernel-throughput snapshot gate: `perf_kernel --snapshot` rates must
 # stay within KERNEL_REGRESSION_RATIO of the committed baseline.  0.5
@@ -52,14 +58,16 @@ KERNEL_SPEEDUPS = (
 )
 
 
-def run_bench(build_dir: pathlib.Path, name: str) -> dict:
+def run_bench(build_dir: pathlib.Path, name: str,
+              extra_args: list[str] | None = None) -> dict:
     binary = build_dir / "bench" / name
     if not binary.exists():
         return {"name": name, "ok": False, "error": f"missing binary {binary}"}
     env = dict(os.environ, GRID3_BENCH_QUICK="1")
     started = time.monotonic()
     proc = subprocess.run(
-        [str(binary)], capture_output=True, text=True, env=env, timeout=1800
+        [str(binary), *(extra_args or [])],
+        capture_output=True, text=True, env=env, timeout=1800,
     )
     elapsed = round(time.monotonic() - started, 1)
     acceptance = [
@@ -67,16 +75,19 @@ def run_bench(build_dir: pathlib.Path, name: str) -> dict:
         for line in proc.stdout.splitlines()
         if line.startswith("acceptance:")
     ]
-    result_json = None
-    for line in proc.stdout.splitlines():
-        if line.startswith("result-json:"):
-            result_json = json.loads(line.split(":", 1)[1])
+    results = [
+        json.loads(line.split(":", 1)[1])
+        for line in proc.stdout.splitlines()
+        if line.startswith("result-json:")
+    ]
     entry = {
         "name": name,
         "exit_code": proc.returncode,
         "seconds": elapsed,
         "acceptance": acceptance,
-        "result": result_json,
+        # Single-result benches read `result`; sweeps read `results`.
+        "result": results[-1] if results else None,
+        "results": results,
         "ok": proc.returncode == 0 and bool(acceptance),
     }
     if proc.returncode != 0:
@@ -88,7 +99,7 @@ def run_bench(build_dir: pathlib.Path, name: str) -> dict:
     return entry
 
 
-def check_multise(entry: dict) -> list[str]:
+def check_multise(entry: dict, repo_root: pathlib.Path) -> list[str]:
     """Re-verify the BENCH.md ablation_multise row from the raw numbers."""
     problems = []
     r = entry.get("result")
@@ -110,7 +121,7 @@ def check_multise(entry: dict) -> list[str]:
     return problems
 
 
-def check_outage(entry: dict) -> list[str]:
+def check_outage(entry: dict, repo_root: pathlib.Path) -> list[str]:
     """Re-verify the BENCH.md ablation_outage row from the raw numbers."""
     problems = []
     r = entry.get("result")
@@ -142,7 +153,7 @@ def check_outage(entry: dict) -> list[str]:
     return problems
 
 
-def check_grid30(entry: dict) -> list[str]:
+def check_grid30(entry: dict, repo_root: pathlib.Path) -> list[str]:
     """Re-verify the BENCH.md grid30 row from the raw numbers."""
     problems = []
     r = entry.get("result")
@@ -164,6 +175,88 @@ def check_grid30(entry: dict) -> list[str]:
             "produced different campaign logs; the fast paths changed "
             "behavior, not just cost")
     return problems
+
+
+def check_catalog_results(entry: dict, repo_root: pathlib.Path) -> list[str]:
+    """Verify the catalog sweep against the committed digest manifest."""
+    problems = []
+    results = entry.get("results") or []
+    if not results:
+        return ["ablation_catalog printed no result-json lines"]
+
+    scenarios = {r["scenario"] for r in results}
+    if len(scenarios) < CATALOG_MIN_SCENARIOS:
+        problems.append(
+            f"catalog sweep covered only {len(scenarios)} scenarios "
+            f"(floor {CATALOG_MIN_SCENARIOS})")
+    for r in results:
+        if r["jobs"] == 0:
+            problems.append(
+                f"{r['scenario']}/{r['stack']}: produced no jobs")
+
+    manifest_path = repo_root / CATALOG_MANIFEST
+    if not manifest_path.exists():
+        return problems + [f"missing committed manifest {CATALOG_MANIFEST}"]
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+
+    # Digests are a function of (scenario, seed, stack): comparing under
+    # a different seed or scale would flag every entry, so the digest
+    # half of the gate only runs in the recorded environment.
+    env_seed = int(float(os.environ.get("GRID3_SEED", "20031025")))
+    scaled = any(os.environ.get(k) for k in ("GRID3_JOB_SCALE",
+                                             "GRID3_CPU_SCALE"))
+    if manifest.get("seed") != env_seed or scaled:
+        print("    (seed/scale differs from the manifest; "
+              "skipping digest comparison)")
+        return problems
+
+    expected = {(e["scenario"], e["stack"]): e["digest"]
+                for e in manifest.get("entries", [])}
+    seen = {(r["scenario"], r["stack"]): r["digest"] for r in results}
+    for key, digest in sorted(expected.items()):
+        got = seen.get(key)
+        if got is None:
+            problems.append(f"{key[0]}/{key[1]}: in manifest but not run")
+        elif got != digest:
+            problems.append(
+                f"{key[0]}/{key[1]}: digest {got} != manifest {digest}; "
+                "the run is nondeterministic or behavior changed -- if "
+                f"intentional, refresh {CATALOG_MANIFEST} "
+                "(ablation_catalog --manifest)")
+    for key in sorted(seen.keys() - expected.keys()):
+        problems.append(
+            f"{key[0]}/{key[1]}: not in {CATALOG_MANIFEST}; refresh it")
+    return problems
+
+
+class Gate(NamedTuple):
+    """One registry row: how to re-check a bench beyond its exit code."""
+    checker: Callable[[dict, pathlib.Path], list[str]] | None = None
+    # Committed baseline the gate compares against (must stay in-tree).
+    artifact: str | None = None
+    # Extra argv for the bench binary.
+    args: tuple[str, ...] = ()
+
+
+# The benches whose acceptance criteria gate the bench-smoke CI job.
+# Each prints an `acceptance:` verdict and exits 0 only when its
+# criterion holds; a registered checker re-derives the docs/BENCH.md
+# row from the result-json numbers.
+REGISTRY: dict[str, Gate] = {
+    "ablation_broker": Gate(),
+    "ablation_placement": Gate(),
+    "ablation_blackhole": Gate(),
+    "ablation_multise": Gate(checker=check_multise),
+    "ablation_outage": Gate(checker=check_outage),
+    "grid30": Gate(checker=check_grid30, artifact="bench/BENCH_grid30.json"),
+}
+
+# The catalog gate is its own CI job (catalog-smoke): one sweep binary,
+# checked against the committed digest manifest.
+CATALOG_REGISTRY: dict[str, Gate] = {
+    "ablation_catalog": Gate(checker=check_catalog_results,
+                             artifact=CATALOG_MANIFEST),
+}
 
 
 def check_kernel_snapshot(build_dir: pathlib.Path,
@@ -230,16 +323,32 @@ def check_kernel_snapshot(build_dir: pathlib.Path,
     return entry, problems
 
 
-def check_bench_md(repo_root: pathlib.Path) -> list[str]:
-    """Every gated bench must stay catalogued in docs/BENCH.md."""
+def check_bench_md(repo_root: pathlib.Path,
+                   registry: dict[str, Gate]) -> list[str]:
+    """Every gated bench must stay catalogued in docs/BENCH.md, and its
+    committed baseline artifact (when registered) must exist."""
+    problems = []
     bench_md = repo_root / "docs" / "BENCH.md"
     if not bench_md.exists():
         return [f"missing {bench_md}"]
     text = bench_md.read_text(encoding="utf-8")
-    return [
-        f"`{name}` missing from docs/BENCH.md" for name in GATED
-        if f"`{name}`" not in text
-    ]
+    for name, gate in registry.items():
+        if f"`{name}`" not in text:
+            problems.append(f"`{name}` missing from docs/BENCH.md")
+        if gate.artifact and not (repo_root / gate.artifact).exists():
+            problems.append(f"{name}: missing committed artifact "
+                            f"{gate.artifact}")
+    return problems
+
+
+def print_table(entries: list[dict]) -> None:
+    """One-line PASS/FAIL summary per gate."""
+    width = max(len(e["name"]) for e in entries) if entries else 10
+    print(f"\n{'gate'.ljust(width)}  status  seconds")
+    for e in entries:
+        status = "PASS" if e.get("ok") else "FAIL"
+        print(f"{e['name'].ljust(width)}  {status}    "
+              f"{e.get('seconds', '?')}")
 
 
 def main() -> int:
@@ -247,13 +356,17 @@ def main() -> int:
     parser.add_argument("build_dir", type=pathlib.Path)
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="write a JSON artifact here")
+    parser.add_argument("--check-catalog", action="store_true",
+                        help="run the scenario-catalog determinism gate "
+                             "instead of the ablation gates")
     args = parser.parse_args()
     repo_root = pathlib.Path(__file__).resolve().parent.parent
 
-    problems = check_bench_md(repo_root)
+    registry = CATALOG_REGISTRY if args.check_catalog else REGISTRY
+    problems = check_bench_md(repo_root, registry)
     entries = []
-    for name in GATED:
-        entry = run_bench(args.build_dir, name)
+    for name, gate in registry.items():
+        entry = run_bench(args.build_dir, name, list(gate.args))
         entries.append(entry)
         status = "PASS" if entry["ok"] else "FAIL"
         print(f"[{status}] {name} "
@@ -262,20 +375,22 @@ def main() -> int:
             print(f"    {line}")
         if not entry["ok"]:
             problems.append(f"{name}: {entry.get('error', 'failed')}")
-        if name == "ablation_multise" and entry["ok"]:
-            problems.extend(check_multise(entry))
-        if name == "ablation_outage" and entry["ok"]:
-            problems.extend(check_outage(entry))
-        if name == "grid30" and entry["ok"]:
-            problems.extend(check_grid30(entry))
+        elif gate.checker is not None:
+            extra = gate.checker(entry, repo_root)
+            problems.extend(extra)
+            if extra:
+                entry["ok"] = False
 
-    print("[....] perf_kernel snapshot")
-    snap_entry, snap_problems = check_kernel_snapshot(
-        args.build_dir, repo_root, args.out.parent if args.out else None)
-    entries.append(snap_entry)
-    problems.extend(snap_problems)
-    print(f"[{'PASS' if snap_entry.get('ok') else 'FAIL'}] perf_kernel "
-          f"snapshot ({snap_entry.get('seconds', '?')}s)")
+    if not args.check_catalog:
+        print("[....] perf_kernel snapshot")
+        snap_entry, snap_problems = check_kernel_snapshot(
+            args.build_dir, repo_root, args.out.parent if args.out else None)
+        entries.append(snap_entry)
+        problems.extend(snap_problems)
+        print(f"[{'PASS' if snap_entry.get('ok') else 'FAIL'}] perf_kernel "
+              f"snapshot ({snap_entry.get('seconds', '?')}s)")
+
+    print_table(entries)
 
     artifact = {"quick_mode": True, "benches": entries, "problems": problems}
     if args.out:
@@ -289,7 +404,7 @@ def main() -> int:
         for p in problems:
             print(f"  - {p}")
         return 1
-    print("\nbench gate passed: every BENCH.md acceptance criterion holds")
+    print("\nbench gate passed: every acceptance criterion holds")
     return 0
 
 

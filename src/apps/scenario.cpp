@@ -59,6 +59,11 @@ Scenario::Scenario(sim::Simulation& sim, ScenarioOptions opts)
     }
   }
 
+  // Bare-fabric mode: a workload-generator scenario drives its own
+  // campaigns; skip the historical demonstrators entirely (their RNG
+  // forks included, so campaign streams do not depend on them).
+  if (!opts.standard_apps) return;
+
   AtlasGce::Options atlas_opts;
   atlas_opts.job_scale = opts.job_scale;
   atlas_opts.months = opts.months;
@@ -156,6 +161,7 @@ void Scenario::start() {
   // 2003 there were sustained periods when over 1300 jobs ran
   // simultaneously"): a coordinated push that floods the grid with
   // medium-length jobs for a day.  Sized to capacity, not to workload.
+  if (!opts_.standard_apps) return;
   if (opts_.months >= 2) {
     const int burst_jobs = static_cast<int>(1400 * opts_.cpu_scale);
     if (burst_jobs > 0) {

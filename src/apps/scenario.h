@@ -50,6 +50,12 @@ struct ScenarioOptions {
   /// net::NetworkConfig).  False forces the full-graph re-solve -- the
   /// grid30 bench's legacy-kernel equivalence baseline.
   bool network_partial_reallocate = true;
+  /// Build and start the seven historical application demonstrators.
+  /// False assembles the bare fabric (sites, VOs, users, failure
+  /// injection) so a workload-generator scenario (src/workload) can
+  /// drive its own campaigns instead; the per-app accessors below must
+  /// not be used then.
+  bool standard_apps = true;
 };
 
 struct Window {
@@ -79,6 +85,9 @@ class Scenario {
 
   [[nodiscard]] core::Grid3& grid() { return *grid_; }
   [[nodiscard]] const ScenarioOptions& options() const { return opts_; }
+  /// Assembly outputs (per-VO user credentials): campaign drivers wire
+  /// their submitter populations from here.
+  [[nodiscard]] const core::Assembled& assembled() const { return assembled_; }
   [[nodiscard]] monitoring::MdViewer viewer() const {
     return {grid_->igoc().job_db(), grid_->igoc().bus()};
   }

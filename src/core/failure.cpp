@@ -16,6 +16,7 @@ const char* to_string(Incident i) {
     case Incident::kMonitorOutage: return "monalisa-outage";
     case Incident::kTicketQueueOutage: return "ticket-queue-outage";
     case Incident::kScheduledDowntime: return "scheduled-downtime";
+    case Incident::kWanWeather: return "wan-weather";
   }
   return "?";
 }
@@ -306,10 +307,29 @@ bool FailureInjector::set_target_up(const std::string& target, bool up) {
   return false;
 }
 
+bool FailureInjector::set_site_wan_up(const std::string& target, bool up) {
+  auto it = attached_.find(target);
+  if (it == attached_.end() || !it->second->active) return false;
+  net_.set_node_up(it->second->site->node(), up);
+  return true;
+}
+
 void FailureInjector::schedule_downtime(DowntimeWindow w) {
   // Resolution is deferred to the window start, so an ops calendar can
-  // be loaded before the sites/services it names are attached.
+  // be loaded before the sites/services it names are attached.  No RNG
+  // is consumed on either path: windows perturb nothing but the target.
   sim_.schedule_at(w.start, [this, w] {
+    if (w.wan) {
+      if (!set_site_wan_up(w.target, false)) return;  // nothing attached
+      record(Incident::kWanWeather);
+      const auto ticket =
+          igoc_.tickets().open(w.target, "wan-weather", sim_.now());
+      sim_.schedule_in(w.duration, [this, w, ticket] {
+        set_site_wan_up(w.target, true);
+        igoc_.tickets().close(ticket, sim_.now());
+      });
+      return;
+    }
     if (!set_target_up(w.target, false)) return;  // nothing attached
     record(Incident::kScheduledDowntime);
     const auto ticket =

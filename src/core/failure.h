@@ -92,11 +92,15 @@ struct CollectiveTargets {
 /// site (gatekeeper + GRIS go down for the window) or an attached
 /// collective bundle (its services go down); `start` is absolute sim
 /// time.  Resolution happens at fire time, so windows may be scheduled
-/// before the target is attached.
+/// before the target is attached.  A `wan` window models WAN weather
+/// instead: the site's network node drops for the window (transfers
+/// fail, the gatekeeper stays reachable for accounting purposes), the
+/// way announced backbone maintenance did.
 struct DowntimeWindow {
   std::string target;
   Time start;
   Time duration;
+  bool wan = false;
 };
 
 /// Kinds of incidents, for accounting.
@@ -111,6 +115,7 @@ enum class Incident {
   kMonitorOutage,      ///< MonALISA collector down
   kTicketQueueOutage,  ///< the iGOC ticket queue itself down
   kScheduledDowntime,  ///< ops-calendar maintenance window
+  kWanWeather,         ///< ops-calendar WAN degradation window
 };
 
 [[nodiscard]] const char* to_string(Incident i);
@@ -162,6 +167,8 @@ class FailureInjector {
   /// Take a downtime target (site or collective bundle) down or up.
   /// Returns false when the name resolves to nothing attached.
   bool set_target_up(const std::string& target, bool up);
+  /// Take an attached site's network node down or up (WAN weather).
+  bool set_site_wan_up(const std::string& target, bool up);
 
   void arm_poisson(Attached& a, Time mtbf,
                    const std::function<void(Attached&)>& fire);

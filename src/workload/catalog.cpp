@@ -1,0 +1,444 @@
+#include "workload/catalog.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/roster.h"
+#include "util/calendar.h"
+
+namespace grid3::workload {
+
+apps::ScenarioOptions ScenarioSpec::options(bool quick) const {
+  apps::ScenarioOptions o = base;
+  if (quick) {
+    o.months = quick_months;
+    o.job_scale *= quick_job_scale;
+  }
+  return o;
+}
+
+std::string ScenarioSpec::serialize() const {
+  std::ostringstream os;
+  os << "scenario " << name << " v" << version << " seed=" << base.seed
+     << " months=" << base.months << " job_scale=" << base.job_scale
+     << " cpu_scale=" << base.cpu_scale << " replicas=" << base.roster_replicas
+     << " standard_apps=" << (base.standard_apps ? 1 : 0)
+     << " quick=" << quick_months << "x" << quick_job_scale << "\n";
+  for (const CampaignSpec& c : campaigns) os << c.serialize() << "\n";
+  for (const std::string& b : collective_bundles) os << "bundle " << b << "\n";
+  os << calendar.serialize();
+  return os.str();
+}
+
+namespace {
+
+using util::Distribution;
+
+/// The mid-fabric site pool calendars rotate maintenance across (a mix
+/// of every VO's medium sites; the Tier-1s stay out so archives keep
+/// accepting data).
+const std::vector<std::string>& rotation_sites() {
+  static const std::vector<std::string> kSites{
+      "UC_ATLAS",  "BU_ATLAS", "IU_ATLAS", "UFL_PG",   "UCSD_PG",
+      "CIT_PG",    "JHU_SDSS", "UWM_LIGO", "VU_BTEV",  "UWMAD_CS",
+      "LBNL_PDSF", "USC_ISI",
+  };
+  return kSites;
+}
+
+CampaignSpec cms_dc04_campaign(std::vector<double> monthly) {
+  CampaignSpec c;
+  c.vo = "uscms";
+  c.app = "dc04";
+  c.required_app = core::app::kCmsMop;
+  c.lfn_prefix = "/grid3/uscms/dc04";
+  c.arrivals.monthly = std::move(monthly);
+  c.arrivals.diurnal_amplitude = 0.35;
+  c.arrivals.diurnal_peak_hour = 14.0;
+  c.arrivals.bursts_per_month = 2.0;
+  c.arrivals.burst_multiplier = 3.0;
+  c.arrivals.burst_duration = Time::hours(8);
+  c.shape.shape = DagShape::kAssignmentChain;
+  c.shape.width_min = 10;
+  c.shape.width_max = 25;
+  c.shape.runtime_hours = Distribution::lognormal_mean_cv(6.0, 0.5);
+  c.shape.output_gb = Distribution::lognormal_mean_cv(1.5, 0.6);
+  c.archive_site = "FNAL_CMS";
+  c.archive_fallbacks = {"CERN"};
+  return c;
+}
+
+CampaignSpec atlas_dc2_campaign(std::vector<double> monthly) {
+  CampaignSpec c;
+  c.vo = "usatlas";
+  c.app = "dc2-mc";
+  c.required_app = core::app::kAtlasGce;
+  c.lfn_prefix = "/grid3/usatlas/dc2";
+  c.arrivals.monthly = std::move(monthly);
+  c.arrivals.diurnal_amplitude = 0.25;
+  c.arrivals.diurnal_peak_hour = 15.0;
+  c.shape.shape = DagShape::kFlatProduction;
+  c.shape.width_min = 15;
+  c.shape.width_max = 40;
+  c.shape.runtime_hours = Distribution::lognormal_mean_cv(4.0, 0.4);
+  c.shape.output_gb = Distribution::lognormal_mean_cv(0.8, 0.5);
+  c.archive_site = "BNL_ATLAS";
+  return c;
+}
+
+CampaignSpec ivdgl_backfill_campaign(std::vector<double> monthly) {
+  CampaignSpec c;
+  c.vo = "ivdgl";
+  c.app = "gadu-scan";
+  c.required_app = core::app::kGadu;
+  c.lfn_prefix = "/grid3/ivdgl/gadu";
+  c.arrivals.monthly = std::move(monthly);
+  c.arrivals.diurnal_amplitude = 0.5;
+  c.arrivals.diurnal_peak_hour = 13.0;
+  c.shape.shape = DagShape::kBackfill;
+  c.shape.runtime_hours =
+      Distribution::clamped(Distribution::exponential(0.7), 0.1, 4.0);
+  c.shape.output_gb = Distribution::constant(0.05);
+  c.shape.scratch_gb = 0.5;
+  return c;
+}
+
+CampaignSpec sdss_coadd_campaign(std::vector<double> monthly) {
+  CampaignSpec c;
+  c.vo = "sdss";
+  c.app = "coadd-batch";
+  c.required_app = core::app::kSdssCoadd;
+  c.lfn_prefix = "/grid3/sdss/coadd";
+  c.arrivals.monthly = std::move(monthly);
+  c.arrivals.diurnal_amplitude = 0.3;
+  c.shape.shape = DagShape::kFlatProduction;
+  c.shape.width_min = 5;
+  c.shape.width_max = 10;
+  c.shape.runtime_hours = Distribution::lognormal_mean_cv(2.0, 0.4);
+  c.shape.output_gb = Distribution::constant(0.5);
+  c.archive_site = "FNAL_SDSS";
+  return c;
+}
+
+CampaignSpec ligo_scan_campaign(std::vector<double> monthly) {
+  CampaignSpec c;
+  c.vo = "ligo";
+  c.app = "pulsar-scan";
+  c.required_app = core::app::kLigoPulsar;
+  c.lfn_prefix = "/grid3/ligo/scan";
+  c.arrivals.monthly = std::move(monthly);
+  c.arrivals.diurnal_amplitude = 0.2;
+  c.shape.shape = DagShape::kFlatProduction;
+  c.shape.width_min = 3;
+  c.shape.width_max = 6;
+  c.shape.runtime_hours = Distribution::lognormal_mean_cv(1.5, 0.3);
+  c.shape.output_gb = Distribution::constant(0.2);
+  c.archive_site = "LIGO_Hanford";
+  return c;
+}
+
+ScenarioSpec base_spec(const std::string& name, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.name = name;
+  s.base.seed = seed;
+  s.base.broker_policy = broker::PolicyKind::kQueueDepth;
+  s.base.standard_apps = false;
+  return s;
+}
+
+ScenarioSpec make_grid30_2month(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("grid30-2month", seed);
+  s.summary = "the bench/grid30 campaign: historical app mix at 10x scale";
+  s.stressor = "fabric scale (270 sites, ~29k CPUs)";
+  s.base.standard_apps = true;
+  s.base.months = 2;
+  s.base.roster_replicas = 10;
+  s.quick_months = 1;
+  s.quick_job_scale = 0.05;
+  return s;
+}
+
+ScenarioSpec make_table1_7month(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("table1-7month", seed);
+  s.summary = "the full Table 1 reproduction: 7 months, historical app mix";
+  s.stressor = "long-horizon accounting fidelity";
+  s.base.standard_apps = true;
+  s.base.months = 7;
+  s.quick_months = 1;
+  s.quick_job_scale = 0.05;
+  return s;
+}
+
+ScenarioSpec make_sc2003_demo(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("sc2003-demo", seed);
+  s.summary =
+      "the two-month historical window covering the SC2003 demo burst";
+  s.stressor = "gatekeeper overload under the conference push";
+  s.base.standard_apps = true;
+  s.base.months = 2;
+  // Quick mode keeps both months (the demo burst the placement layer
+  // must absorb is in the second) and thins the workload instead.
+  s.quick_months = 2;
+  s.quick_job_scale = 0.4;
+  return s;
+}
+
+ScenarioSpec make_cms_dc04(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("cms-dc04", seed);
+  s.summary = "CMS DC04-style assignment production with validate/merge";
+  s.stressor = "wide fan-in chains + archive stage-out pressure";
+  s.base.months = 3;
+  s.quick_months = 1;
+  s.quick_job_scale = 0.5;
+  s.campaigns = {cms_dc04_campaign({40, 90, 140})};
+  return s;
+}
+
+ScenarioSpec make_atlas_dc2(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("atlas-dc2", seed);
+  s.summary = "ATLAS DC2-style flat Monte-Carlo batches";
+  s.stressor = "bulk independent-job throughput";
+  s.base.months = 3;
+  s.quick_months = 1;
+  s.quick_job_scale = 0.5;
+  s.campaigns = {atlas_dc2_campaign({60, 120, 160})};
+  return s;
+}
+
+ScenarioSpec make_mixed_opportunistic(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("mixed-opportunistic", seed);
+  s.summary =
+      "CMS chains + ATLAS batches + opportunistic iVDGL short-job backfill";
+  s.stressor = "multi-VO contention and fair sharing";
+  s.base.months = 2;
+  s.quick_months = 1;
+  s.quick_job_scale = 0.4;
+  s.campaigns = {cms_dc04_campaign({50, 80}), atlas_dc2_campaign({70, 110}),
+                 ivdgl_backfill_campaign({600, 900})};
+  return s;
+}
+
+ScenarioSpec make_sc2003_burst(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("sc2003-burst", seed);
+  s.summary = "conference-demo demand: heavy correlated burst windows";
+  s.stressor = "correlated arrival bursts (SC2003-style pushes)";
+  s.base.months = 2;
+  s.quick_months = 2;  // the bursts are the point; keep both months
+  s.quick_job_scale = 0.4;
+  CampaignSpec atlas = atlas_dc2_campaign({50, 90});
+  atlas.arrivals.bursts_per_month = 6.0;
+  atlas.arrivals.burst_multiplier = 5.0;
+  atlas.arrivals.burst_duration = Time::hours(12);
+  atlas.arrivals.diurnal_amplitude = 0.4;
+  CampaignSpec backfill = ivdgl_backfill_campaign({400, 600});
+  backfill.arrivals.bursts_per_month = 6.0;
+  backfill.arrivals.burst_multiplier = 5.0;
+  backfill.arrivals.burst_duration = Time::hours(12);
+  s.campaigns = {std::move(atlas), std::move(backfill)};
+  return s;
+}
+
+ScenarioSpec make_outage_storm(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("outage-storm", seed);
+  s.summary = "production under collective-service storms and WAN weather";
+  s.stressor = "collective outages + WAN degradation";
+  s.base.months = 2;
+  s.quick_months = 1;
+  s.quick_job_scale = 0.5;
+  s.campaigns = {cms_dc04_campaign({60, 90}), atlas_dc2_campaign({80, 120})};
+  s.collective_bundles = {"igoc-collective", "uscms-collective"};
+  s.calendar.add_collective_storm("igoc-collective", Time::days(10),
+                                  Time::days(7), Time::hours(4), 6);
+  s.calendar.add_collective_storm("uscms-collective", Time::days(12),
+                                  Time::days(10), Time::hours(6), 4);
+  s.calendar.add_wan_weather(rotation_sites(), Time::days(2), Time::days(56),
+                             Distribution::lognormal_mean_cv(5.0, 0.8), 24,
+                             seed);
+  return s;
+}
+
+ScenarioSpec make_maintenance_season(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("maintenance-season", seed);
+  s.summary = "rolling scheduled site maintenance under steady production";
+  s.stressor = "scheduled-downtime churn (INFN-GRID calendar idiom)";
+  s.base.months = 3;
+  s.quick_months = 1;
+  s.quick_job_scale = 0.5;
+  s.campaigns = {atlas_dc2_campaign({70, 100, 120}),
+                 sdss_coadd_campaign({40, 60, 60})};
+  s.calendar.add_site_rotation(rotation_sites(), Time::days(3),
+                               Time::days(3) + Time::hours(12),
+                               Time::hours(8), 24);
+  s.calendar.add_wan_weather(rotation_sites(), Time::days(5), Time::days(84),
+                             Distribution::lognormal_mean_cv(3.0, 0.6), 8,
+                             seed);
+  return s;
+}
+
+ScenarioSpec make_calib_month(std::uint64_t seed) {
+  ScenarioSpec s = base_spec("calib-month", seed);
+  s.summary = "small single-month LIGO + SDSS calibration batches";
+  s.stressor = "light-load baseline (fast smoke anchor)";
+  s.base.months = 1;
+  s.quick_months = 1;
+  s.quick_job_scale = 0.3;
+  s.campaigns = {ligo_scan_campaign({80}), sdss_coadd_campaign({50})};
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ScenarioCatalog::names() {
+  static const std::vector<std::string> kNames{
+      "grid30-2month",  "table1-7month",       "sc2003-demo",
+      "cms-dc04",       "atlas-dc2",           "mixed-opportunistic",
+      "sc2003-burst",   "outage-storm",        "maintenance-season",
+      "calib-month",
+  };
+  return kNames;
+}
+
+ScenarioSpec ScenarioCatalog::get(const std::string& name,
+                                  std::uint64_t seed) {
+  if (name == "grid30-2month") return make_grid30_2month(seed);
+  if (name == "table1-7month") return make_table1_7month(seed);
+  if (name == "sc2003-demo") return make_sc2003_demo(seed);
+  if (name == "cms-dc04") return make_cms_dc04(seed);
+  if (name == "atlas-dc2") return make_atlas_dc2(seed);
+  if (name == "mixed-opportunistic") return make_mixed_opportunistic(seed);
+  if (name == "sc2003-burst") return make_sc2003_burst(seed);
+  if (name == "outage-storm") return make_outage_storm(seed);
+  if (name == "maintenance-season") return make_maintenance_season(seed);
+  if (name == "calib-month") return make_calib_month(seed);
+  throw std::out_of_range("unknown catalog scenario: " + name);
+}
+
+StackConfig modern_stack() { return {}; }
+
+StackConfig legacy_stack() {
+  StackConfig s;
+  s.name = "legacy";
+  s.policy = broker::PolicyKind::kNone;
+  s.incremental_rank = false;
+  s.placement_leases = false;
+  s.health_breakers = false;
+  s.calendar_kernel = false;
+  s.partial_reallocate = false;
+  return s;
+}
+
+CatalogRun::CatalogRun(const ScenarioSpec& spec, bool quick,
+                       const StackConfig& stack)
+    : spec_{spec}, stack_{stack}, opts_{spec.options(quick)} {
+  opts_.broker_policy = stack.policy;
+  opts_.broker_incremental_rank = stack.incremental_rank;
+  opts_.placement_leases = stack.placement_leases;
+  opts_.network_partial_reallocate = stack.partial_reallocate;
+
+  sim::QueueConfig qc;
+  qc.calendar = stack.calendar_kernel;
+  sim_ = std::make_unique<sim::Simulation>(qc);
+  wall_start_ = std::chrono::steady_clock::now();
+  scenario_ = std::make_unique<apps::Scenario>(*sim_, opts_);
+  core::Grid3& grid = scenario_->grid();
+  if (stack.health_breakers) grid.attach_health();
+
+  // Arm collective bundles the calendar targets.  All-zero rates, so
+  // arming adds no random outages -- only the scheduled windows fire.
+  for (const std::string& bundle : spec_.collective_bundles) {
+    if (bundle == "igoc-collective") {
+      grid.arm_igoc_collective_failures({});
+    } else if (const auto pos = bundle.rfind("-collective");
+               pos != std::string::npos && pos > 0) {
+      grid.arm_vo_collective_failures(bundle.substr(0, pos), {});
+    }
+  }
+
+  // Campaign drivers, in spec order (each forks the grid RNG at
+  // construction, so the order is part of the determinism contract).
+  // Quick mode scales each campaign's arrival volume with the fabric's
+  // job_scale and clips its schedule to the run horizon.
+  for (const CampaignSpec& c : spec_.campaigns) {
+    CampaignSpec scaled = c;
+    scaled.arrivals.scale *= opts_.job_scale;
+    if (scaled.arrivals.months() > opts_.months) {
+      scaled.arrivals.monthly.resize(
+          static_cast<std::size_t>(opts_.months));
+    }
+    auto driver = std::make_unique<CampaignDriver>(
+        grid, std::move(scaled), opts_.seed ^ fnv1a64(c.vo + "/" + c.app));
+    for (const core::VoUsers& vu : scenario_->assembled().users) {
+      if (vu.vo == c.vo) {
+        driver->set_users(vu.app_admins, vu.users);
+        break;
+      }
+    }
+    drivers_.push_back(std::move(driver));
+  }
+
+  spec_.calendar.compile(grid);
+}
+
+CatalogRun::~CatalogRun() = default;
+
+void CatalogRun::start() {
+  if (started_) return;
+  started_ = true;
+  scenario_->start();
+  for (auto& d : drivers_) d->start();
+}
+
+void CatalogRun::run_until(Time t) {
+  start();
+  sim_->run_until(t);
+}
+
+void CatalogRun::run() { run_until(util::month_start(opts_.months)); }
+
+RunResult CatalogRun::finish() const {
+  RunResult out;
+  out.scenario = spec_.name;
+  out.stack = stack_.name;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  out.events = sim_->executed();
+  core::Grid3& grid = scenario_->grid();
+  const auto& db = grid.igoc().job_db();
+  out.jobs = db.size();
+  for (const monitoring::JobRecord& r : db.records()) {
+    if (r.success) {
+      ++out.completed;
+    } else {
+      ++out.failed;
+    }
+  }
+  for (const auto& d : drivers_) out.workflows += d->launched();
+  out.downtimes =
+      grid.failures().incidents(core::Incident::kScheduledDowntime);
+  out.wan_events = grid.failures().incidents(core::Incident::kWanWeather);
+  for (const std::string& vo : core::canonical_vos()) {
+    if (const broker::ResourceBroker* b = grid.broker(vo)) {
+      out.match_log += "== " + vo + " ==\n" + b->serialize_match_log();
+    }
+  }
+
+  const std::uint64_t h = fnv1a64(out.match_log);
+  std::ostringstream tail;
+  tail << "jobs=" << out.jobs << "|ok=" << out.completed
+       << "|failed=" << out.failed << "|wf=" << out.workflows
+       << "|downtime=" << out.downtimes << "|wan=" << out.wan_events;
+  out.digest = digest_hex(fnv1a64(tail.str(), h));
+  return out;
+}
+
+RunResult run_scenario(const ScenarioSpec& spec, bool quick,
+                       const StackConfig& stack) {
+  CatalogRun run{spec, quick, stack};
+  run.run();
+  return run.finish();
+}
+
+}  // namespace grid3::workload

@@ -1,0 +1,84 @@
+#include "workload/ops_calendar.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace grid3::workload {
+
+const char* to_string(CalendarEvent::Kind k) {
+  switch (k) {
+    case CalendarEvent::Kind::kSiteMaintenance: return "site-maintenance";
+    case CalendarEvent::Kind::kCollectiveMaintenance:
+      return "collective-maintenance";
+    case CalendarEvent::Kind::kWanWeather: return "wan-weather";
+  }
+  return "?";
+}
+
+void OpsCalendar::add(CalendarEvent e) { events_.push_back(std::move(e)); }
+
+void OpsCalendar::add_site_rotation(const std::vector<std::string>& sites,
+                                    Time first, Time every, Time duration,
+                                    std::size_t windows) {
+  if (sites.empty()) return;
+  for (std::size_t i = 0; i < windows; ++i) {
+    add({CalendarEvent::Kind::kSiteMaintenance, sites[i % sites.size()],
+         first + every * static_cast<double>(i), duration});
+  }
+}
+
+void OpsCalendar::add_collective_storm(const std::string& bundle, Time first,
+                                       Time every, Time duration,
+                                       std::size_t windows) {
+  for (std::size_t i = 0; i < windows; ++i) {
+    add({CalendarEvent::Kind::kCollectiveMaintenance, bundle,
+         first + every * static_cast<double>(i), duration});
+  }
+}
+
+void OpsCalendar::add_wan_weather(const std::vector<std::string>& sites,
+                                  Time from, Time to,
+                                  const util::Distribution& duration_hours,
+                                  std::size_t events, std::uint64_t seed) {
+  if (sites.empty() || to <= from) return;
+  util::Rng rng{seed ^ 0x3a17c0ffeeULL};
+  for (std::size_t i = 0; i < events; ++i) {
+    const Time start = from + (to - from) * rng.uniform(0.0, 1.0);
+    const std::string& site = sites[rng.index(sites.size())];
+    add({CalendarEvent::Kind::kWanWeather, site, start,
+         Time::hours(duration_hours.sample(rng))});
+  }
+}
+
+std::vector<CalendarEvent> OpsCalendar::sorted() const {
+  std::vector<CalendarEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CalendarEvent& a, const CalendarEvent& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     if (a.target != b.target) return a.target < b.target;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return out;
+}
+
+void OpsCalendar::compile(core::Grid3& grid) const {
+  for (const CalendarEvent& e : sorted()) {
+    grid.failures().schedule_downtime(
+        {e.target, e.start, e.duration,
+         /*wan=*/e.kind == CalendarEvent::Kind::kWanWeather});
+  }
+}
+
+std::string OpsCalendar::serialize() const {
+  std::ostringstream os;
+  for (const CalendarEvent& e : sorted()) {
+    os << to_string(e.kind) << " target=" << e.target
+       << " start_us=" << e.start.ticks()
+       << " duration_us=" << e.duration.ticks() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace grid3::workload

@@ -1,0 +1,84 @@
+// INFN-GRID-style operations calendar (physics/0701067): scheduled
+// site maintenance, collective-service maintenance, and WAN-weather
+// traces, compiled into the fabric's FailureInjector as deterministic
+// downtime windows.
+//
+// A calendar is plain data: building one consumes no simulation state,
+// and compile() translates every event into
+// FailureInjector::schedule_downtime -- which itself draws no RNG -- so
+// a calendared scenario perturbs the workload's random streams not at
+// all.  Seeded trace generators (WAN weather) draw from their own
+// throwaway RNG at build time, keeping the trace a pure function of
+// (arguments, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/grid3.h"
+#include "util/distributions.h"
+#include "util/units.h"
+
+namespace grid3::workload {
+
+struct CalendarEvent {
+  enum class Kind {
+    kSiteMaintenance,        ///< gatekeeper + GRIS down for the window
+    kCollectiveMaintenance,  ///< an attached collective bundle down
+    kWanWeather,             ///< the site's network node down
+  };
+  Kind kind = Kind::kSiteMaintenance;
+  std::string target;  ///< site name or collective bundle name
+  Time start;
+  Time duration;
+};
+
+[[nodiscard]] const char* to_string(CalendarEvent::Kind k);
+
+class OpsCalendar {
+ public:
+  void add(CalendarEvent e);
+
+  /// Rotating site maintenance: starting at `first`, every `every`, the
+  /// next site in `sites` (round-robin) takes a `duration` window.
+  void add_site_rotation(const std::vector<std::string>& sites, Time first,
+                         Time every, Time duration, std::size_t windows);
+
+  /// Repeating maintenance on a collective bundle ("igoc-collective",
+  /// "<vo>-collective"): `windows` windows of `duration`, `every` apart.
+  void add_collective_storm(const std::string& bundle, Time first, Time every,
+                            Time duration, std::size_t windows);
+
+  /// Seeded WAN-weather trace: `events` windows placed uniformly over
+  /// [from, to) across `sites`, each lasting a draw from
+  /// `duration_hours`.  Deterministic in (arguments, seed); consumes no
+  /// simulation RNG.
+  void add_wan_weather(const std::vector<std::string>& sites, Time from,
+                       Time to, const util::Distribution& duration_hours,
+                       std::size_t events, std::uint64_t seed);
+
+  /// Push every event into the grid's FailureInjector, in (start,
+  /// target, kind) order so compilation is independent of insertion
+  /// order.  Collective targets must be attached (armed) by the caller;
+  /// unattached targets are skipped at fire time, exactly like the
+  /// injector's own contract.
+  void compile(core::Grid3& grid) const;
+
+  [[nodiscard]] const std::vector<CalendarEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Canonical text rendering, one line per event in compile order
+  /// (determinism probe for tests and the catalog digest).
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  [[nodiscard]] std::vector<CalendarEvent> sorted() const;
+
+  std::vector<CalendarEvent> events_;
+};
+
+}  // namespace grid3::workload
